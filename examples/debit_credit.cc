@@ -1,0 +1,151 @@
+// Gray-style debit/credit (TP1) on mmdb — the workload the paper sizes
+// its logging claims against (§3.2): four log records per transaction,
+// with a hash index on the account relation, periodic crashes, and a
+// final audit that balances must sum consistently.
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "util/random.h"
+
+using namespace mmdb;
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    auto _st = (expr);                                            \
+    if (!_st.ok()) {                                              \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__,         \
+                   __LINE__, _st.ToString().c_str());             \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
+namespace {
+
+Schema MoneySchema() {
+  return Schema({{"id", ColumnType::kInt64}, {"balance", ColumnType::kInt64}});
+}
+
+Status Populate(Database* db, const std::string& rel, int64_t n) {
+  MMDB_RETURN_IF_ERROR(db->CreateRelation(rel, MoneySchema()));
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  for (int64_t i = 0; i < n; ++i) {
+    auto a = db->Insert(txn.value(), rel, Tuple{i, int64_t{0}});
+    if (!a.ok()) return a.status();
+  }
+  return db->Commit(txn.value());
+}
+
+Result<int64_t> SumBalances(Database* db, const std::string& rel) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  auto rows = db->Scan(txn.value(), rel);
+  if (!rows.ok()) return rows.status();
+  int64_t sum = 0;
+  for (auto& [_, tuple] : rows.value()) sum += std::get<int64_t>(tuple[1]);
+  MMDB_RETURN_IF_ERROR(db->Commit(txn.value()));
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  const int64_t kAccounts = 1000, kTellers = 20, kBranches = 4;
+  CHECK_OK(Populate(&db, "account", kAccounts));
+  CHECK_OK(Populate(&db, "teller", kTellers));
+  CHECK_OK(Populate(&db, "branch", kBranches));
+  CHECK_OK(db.CreateRelation(
+      "history", Schema({{"id", ColumnType::kInt64},
+                         {"account", ColumnType::kInt64},
+                         {"amount", ColumnType::kInt64}})));
+  CHECK_OK(db.CreateIndex("acct_idx", "account", "id",
+                          IndexType::kLinearHash));
+
+  Random rng(42);
+  int64_t hist_id = 0;
+  int committed = 0, aborted = 0;
+  const int kTxns = 5000;
+  for (int i = 0; i < kTxns; ++i) {
+    auto txn = db.Begin();
+    CHECK_OK(txn.status());
+    Transaction* t = txn.value();
+    int64_t amount = rng.UniformRange(-50, 50);
+    int64_t acct = rng.UniformRange(0, kAccounts - 1);
+
+    auto bump = [&](const std::string& rel, int64_t id) -> Status {
+      // Account located through its hash index; teller/branch by scan of
+      // the index-free relations would be silly, so give them ids == row
+      // order and look up via the account index pattern only for account.
+      EntityAddr addr;
+      if (rel == "account") {
+        auto hit = db.IndexLookup(t, "acct_idx", id);
+        if (!hit.ok()) return hit.status();
+        addr = hit.value()[0];
+      } else {
+        auto rows = db.Scan(t, rel);
+        if (!rows.ok()) return rows.status();
+        addr = rows.value()[static_cast<size_t>(id)].first;
+      }
+      auto row = db.Read(t, rel, addr);
+      if (!row.ok()) return row.status();
+      Tuple u = row.value();
+      u[1] = std::get<int64_t>(u[1]) + amount;
+      return db.Update(t, rel, addr, u);
+    };
+
+    Status st = bump("account", acct);
+    if (st.ok()) st = bump("teller", acct % kTellers);
+    if (st.ok()) st = bump("branch", acct % kBranches);
+    if (st.ok()) {
+      st = db.Insert(t, "history", Tuple{hist_id++, acct, amount}).status();
+    }
+    if (st.ok() && rng.Bernoulli(0.03)) {
+      // ~3% of transactions abort (paper cites UNDO for ~3% of txns).
+      CHECK_OK(db.Abort(t));
+      ++aborted;
+      continue;
+    }
+    CHECK_OK(st);
+    CHECK_OK(db.Commit(t));
+    ++committed;
+
+    if (i == kTxns / 2) {
+      std::printf("mid-run crash after %d transactions...\n", i + 1);
+      db.Crash();
+      CHECK_OK(db.Restart());
+    }
+  }
+
+  // Audit: account total == teller total == branch total (every committed
+  // transaction moved the same amount through all three).
+  auto acct_sum = SumBalances(&db, "account");
+  CHECK_OK(acct_sum.status());
+  auto teller_sum = SumBalances(&db, "teller");
+  CHECK_OK(teller_sum.status());
+  auto branch_sum = SumBalances(&db, "branch");
+  CHECK_OK(branch_sum.status());
+  std::printf("committed=%d aborted=%d\n", committed, aborted);
+  std::printf("account total=%lld teller total=%lld branch total=%lld\n",
+              static_cast<long long>(acct_sum.value()),
+              static_cast<long long>(teller_sum.value()),
+              static_cast<long long>(branch_sum.value()));
+  if (acct_sum.value() != teller_sum.value() ||
+      teller_sum.value() != branch_sum.value()) {
+    std::fprintf(stderr, "AUDIT FAILED\n");
+    return 1;
+  }
+
+  auto stats = db.GetStats();
+  double recovery_vsec = db.recovery_cpu().total_instructions() / 1e6;
+  std::printf("log records: %llu (%.1f per committed txn)\n",
+              static_cast<unsigned long long>(stats.records_logged),
+              static_cast<double>(stats.records_logged) / committed);
+  std::printf("recovery-CPU logging capacity at this mix: %.0f txn/s\n",
+              committed / recovery_vsec);
+  std::printf("checkpoints completed: %llu\n",
+              static_cast<unsigned long long>(stats.checkpoints_completed));
+  std::printf("debit_credit OK\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Demonstrates the paper's availability argument (§2.5, §3.4): after a
+// crash, a transaction that needs one hot relation can run as soon as
+// the catalogs plus *its* partitions are recovered, while database-level
+// recovery (RestartPolicy::kFullReload) holds every transaction until
+// the entire database is reloaded.
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "util/random.h"
+
+using namespace mmdb;
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    auto _st = (expr);                                            \
+    if (!_st.ok()) {                                              \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__,         \
+                   __LINE__, _st.ToString().c_str());             \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
+namespace {
+
+Schema S() {
+  return Schema({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+Status Build(Database* db, int relations, int rows) {
+  for (int r = 0; r < relations; ++r) {
+    MMDB_RETURN_IF_ERROR(db->CreateRelation("rel" + std::to_string(r), S()));
+    auto txn = db->Begin();
+    if (!txn.ok()) return txn.status();
+    for (int i = 0; i < rows; ++i) {
+      auto a = db->Insert(txn.value(), "rel" + std::to_string(r),
+                          Tuple{static_cast<int64_t>(i), int64_t{0}});
+      if (!a.ok()) return a.status();
+    }
+    MMDB_RETURN_IF_ERROR(db->Commit(txn.value()));
+  }
+  return db->CheckpointEverything();
+}
+
+/// The "first transaction": read three rows of rel0.
+Status FirstTransaction(Database* db) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  auto rows = db->Scan(txn.value(), "rel0");
+  if (!rows.ok()) return rows.status();
+  return db->Commit(txn.value());
+}
+
+}  // namespace
+
+int main() {
+  const int kRelations = 10, kRows = 2000;
+
+  std::printf("building two identical databases (%d relations x %d rows)\n",
+              kRelations, kRows);
+
+  // --- partition-level, on-demand (the paper's proposal) -------------------
+  Database on_demand;  // default policy: kOnDemand
+  CHECK_OK(Build(&on_demand, kRelations, kRows));
+  on_demand.Crash();
+  CHECK_OK(on_demand.Restart());
+  double catalog_ms = on_demand.last_restart().catalog_ms;
+  double t0 = on_demand.now_ms();
+  CHECK_OK(FirstTransaction(&on_demand));
+  double first_txn_ms = catalog_ms + (on_demand.now_ms() - t0);
+  double t1 = on_demand.now_ms();
+  bool done = false;
+  while (!done) CHECK_OK(on_demand.BackgroundRecoveryStep(&done));
+  double full_ms = first_txn_ms + (on_demand.now_ms() - t1);
+
+  // --- database-level (complete reload baseline) ----------------------------
+  DatabaseOptions o;
+  o.restart_policy = RestartPolicy::kFullReload;
+  Database reload(o);
+  CHECK_OK(Build(&reload, kRelations, kRows));
+  reload.Crash();
+  CHECK_OK(reload.Restart());
+  double reload_first_ms = reload.last_restart().total_ms;
+  double t2 = reload.now_ms();
+  CHECK_OK(FirstTransaction(&reload));
+  double reload_txn_done = reload_first_ms + (reload.now_ms() - t2);
+
+  std::printf("\n%40s %14s\n", "", "virtual ms");
+  std::printf("%40s %14.1f\n", "on-demand: catalogs ready", catalog_ms);
+  std::printf("%40s %14.1f\n", "on-demand: first transaction done",
+              first_txn_ms);
+  std::printf("%40s %14.1f\n", "on-demand: whole database resident", full_ms);
+  std::printf("%40s %14.1f\n", "full reload: first transaction possible",
+              reload_first_ms);
+  std::printf("%40s %14.1f\n", "full reload: first transaction done",
+              reload_txn_done);
+  std::printf("\nfirst-transaction speedup of partition-level recovery: %.1fx\n",
+              reload_first_ms / first_txn_ms);
+  std::printf("(total recovery volume is the same order: %.1f vs %.1f ms)\n",
+              full_ms, reload_first_ms);
+  std::printf("on_demand_recovery OK\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "analysis/model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mmdb::analysis {
+
+double Table2::NLogPages() const {
+  return n_update * s_log_record / s_log_page;
+}
+
+double Table2::IPageWrite() const {
+  double pages_per_checkpoint = NLogPages();
+  // A partition does not trigger a checkpoint until it has accumulated at
+  // least one full page of log records (paper footnote 7), so the
+  // amortization denominator is at least 1.
+  if (pages_per_checkpoint < 1.0) pages_per_checkpoint = 1.0;
+  return i_write_init + i_page_alloc + i_process_lsn +
+         i_checkpoint / pages_per_checkpoint;
+}
+
+double Table2::IRecordSort() const {
+  return i_record_lookup + i_page_check + i_copy_fixed +
+         i_copy_add * s_log_record + i_page_update +
+         IPageWrite() * s_log_record / s_log_page;
+}
+
+double Table2::RBytesLogged() const {
+  double instructions_per_second = p_recovery_mips * 1e6;
+  return instructions_per_second / (IRecordSort() / s_log_record);
+}
+
+double Table2::RRecordsLogged() const {
+  return RBytesLogged() / s_log_record;
+}
+
+double Table2::MaxTransactionRate(double records_per_txn) const {
+  return RRecordsLogged() / records_per_txn;
+}
+
+double Table2::CheckpointRate(double records_per_second, double f_update,
+                              double f_age) const {
+  return records_per_second *
+         (f_update / n_update + f_age * s_log_record / s_log_page);
+}
+
+double Table2::CheckpointRateBest(double records_per_second) const {
+  return CheckpointRate(records_per_second, 1.0, 0.0);
+}
+
+double Table2::CheckpointRateWorst(double records_per_second) const {
+  return CheckpointRate(records_per_second, 0.0, 1.0);
+}
+
+double RecoveryModel::PartitionRecoveryMs(double log_pages) const {
+  // Checkpoint image: one random seek plus a track read, on the
+  // checkpoint disk.
+  double image_ms = checkpoint_disk.TrackReadMs();
+
+  // Log pages: anchors must be read backward before forward streaming can
+  // start (paper §2.5.1: with more pages than the directory holds, it is
+  // possible to get to the first log page after (pages/N - 1) extra page
+  // reads).
+  double backward_reads =
+      log_pages > directory_entries
+          ? std::floor((log_pages - 1.0) / directory_entries)
+          : 0.0;
+  double log_read_ms =
+      (backward_reads + log_pages) * log_disk.NearPageReadMs();
+
+  // Applying a page of records overlaps with reading the next page; only
+  // the last page's apply is exposed (and apply is assumed faster than a
+  // page read, which holds for these parameters).
+  double records_per_page = params.s_log_page / params.s_log_record;
+  double apply_ms_per_page = records_per_page *
+                             apply_instructions_per_record /
+                             (main_cpu_mips * 1e3);
+  double apply_exposed_ms =
+      log_pages > 0.0 ? std::max(apply_ms_per_page,
+                                 apply_ms_per_page * log_pages - log_read_ms)
+                      : 0.0;
+  if (apply_exposed_ms < 0.0) apply_exposed_ms = 0.0;
+
+  // The checkpoint image and the log pages are on different disks and may
+  // be read in parallel (§3.4).
+  return std::max(image_ms, log_read_ms) + apply_exposed_ms;
+}
+
+double RecoveryModel::TimeToFirstTransactionMs(double catalog_partitions,
+                                               double needed_partitions,
+                                               double avg_log_pages) const {
+  return (catalog_partitions + needed_partitions) *
+         PartitionRecoveryMs(avg_log_pages);
+}
+
+double RecoveryModel::DatabaseReloadMs(double total_partitions,
+                                       double total_log_pages) const {
+  // Complete reload: stream every partition (track reads; sequential, so
+  // charge one seek plus streaming) and scan the entire log, then apply.
+  double image_ms = checkpoint_disk.avg_seek_ms + checkpoint_disk.settle_ms +
+                    total_partitions * checkpoint_disk.pages_per_track *
+                        checkpoint_disk.page_transfer_ms /
+                        checkpoint_disk.track_rate_multiplier;
+  double log_ms = log_disk.avg_seek_ms + log_disk.settle_ms +
+                  total_log_pages * (log_disk.settle_ms +
+                                     log_disk.page_transfer_ms);
+  double records_per_page = params.s_log_page / params.s_log_record;
+  double apply_ms = total_log_pages * records_per_page *
+                    apply_instructions_per_record / (main_cpu_mips * 1e3);
+  // Image and log streams proceed in parallel on different disks; apply
+  // overlaps with log reading but cannot finish before it.
+  return std::max(image_ms, std::max(log_ms, apply_ms));
+}
+
+std::vector<std::string> FormatTable2(const Table2& t) {
+  std::vector<std::string> rows;
+  char buf[160];
+  auto row = [&](const char* name, double value, const char* units) {
+    std::snprintf(buf, sizeof(buf), "%-22s %14.3f  %s", name, value, units);
+    rows.emplace_back(buf);
+  };
+  row("I_record_lookup", t.i_record_lookup, "Instructions / Record");
+  row("I_copy_fixed", t.i_copy_fixed, "Instructions / Copy");
+  row("I_copy_add", t.i_copy_add, "Instructions / Byte");
+  row("I_write_init", t.i_write_init, "Instructions / Page Write");
+  row("I_page_alloc", t.i_page_alloc, "Instructions / Page Write");
+  row("I_page_update", t.i_page_update, "Instructions / Record");
+  row("I_page_check", t.i_page_check, "Instructions / Record");
+  row("I_process_LSN", t.i_process_lsn, "Instructions / Page Write");
+  row("I_checkpoint", t.i_checkpoint, "Instructions / Checkpoint");
+  row("I_record_sort (calc)", t.IRecordSort(), "Instructions / Record");
+  row("I_page_write (calc)", t.IPageWrite(), "Instructions / Page");
+  row("S_log_record", t.s_log_record, "Bytes / Record");
+  row("S_log_page", t.s_log_page, "Bytes / Page");
+  row("S_partition", t.s_partition, "Bytes / Partition");
+  row("N_update", t.n_update, "Log Records / Partition");
+  row("N_log_pages (calc)", t.NLogPages(), "Log Pages / Partition");
+  row("R_bytes_logged (calc)", t.RBytesLogged(), "Bytes / Second");
+  row("R_records_logged (calc)", t.RRecordsLogged(), "Log Records / Second");
+  row("P_recovery", t.p_recovery_mips, "Million Instructions / Second");
+  return rows;
+}
+
+}  // namespace mmdb::analysis

@@ -1,0 +1,183 @@
+#include "catalog/schema.h"
+
+#include <cstring>
+
+namespace mmdb {
+
+namespace wire {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutBytes(std::vector<uint8_t>* out, std::span<const uint8_t> v) {
+  out->insert(out->end(), v.begin(), v.end());
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->insert(out->end(), v.begin(), v.end());
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool Reader::GetU16(uint16_t* v) {
+  if (remaining() < 2) return false;
+  *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool Reader::GetI64(int64_t* v) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool Reader::GetBytes(size_t n, std::span<const uint8_t>* v) {
+  if (remaining() < n) return false;
+  *v = data_.subspan(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool Reader::GetString(std::string* v) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (remaining() < len) return false;
+  v->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace wire
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    bool want_int = columns_[i].type == ColumnType::kInt64;
+    bool is_int = std::holds_alternative<int64_t>(tuple[i]);
+    if (want_int != is_int) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     columns_[i].name);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Schema::Encode(const Tuple& tuple) const {
+  MMDB_RETURN_IF_ERROR(Validate(tuple));
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type == ColumnType::kInt64) {
+      wire::PutI64(&out, std::get<int64_t>(tuple[i]));
+    } else {
+      wire::PutString(&out, std::get<std::string>(tuple[i]));
+    }
+  }
+  return out;
+}
+
+Result<Tuple> Schema::Decode(std::span<const uint8_t> data) const {
+  wire::Reader r(data);
+  Tuple tuple;
+  tuple.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    if (c.type == ColumnType::kInt64) {
+      int64_t v;
+      if (!r.GetI64(&v)) return Status::Corruption("truncated int64 field");
+      tuple.emplace_back(v);
+    } else {
+      std::string s;
+      if (!r.GetString(&s)) return Status::Corruption("truncated string field");
+      tuple.emplace_back(std::move(s));
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return tuple;
+}
+
+std::vector<uint8_t> Schema::Serialize() const {
+  std::vector<uint8_t> out;
+  wire::PutU32(&out, static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    wire::PutString(&out, c.name);
+    wire::PutU8(&out, static_cast<uint8_t>(c.type));
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(std::span<const uint8_t> data,
+                                   size_t* consumed) {
+  wire::Reader r(data);
+  uint32_t n;
+  if (!r.GetU32(&n)) return Status::Corruption("truncated schema");
+  if (n > 4096) return Status::Corruption("implausible column count");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    uint8_t type;
+    if (!r.GetString(&c.name) || !r.GetU8(&type)) {
+      return Status::Corruption("truncated schema column");
+    }
+    if (type > 1) return Status::Corruption("unknown column type");
+    c.type = static_cast<ColumnType>(type);
+    cols.push_back(std::move(c));
+  }
+  if (consumed != nullptr) *consumed = r.pos();
+  return Schema(std::move(cols));
+}
+
+}  // namespace mmdb

@@ -1,0 +1,104 @@
+#ifndef MMDB_CATALOG_SCHEMA_H_
+#define MMDB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+/// Column types supported by relations. Long fields (voice/image data)
+/// are out of scope, exactly as in the paper ("managed by a separate
+/// mechanism not described here").
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kString = 1,
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+
+  friend bool operator==(const Column&, const Column&) = default;
+};
+
+/// A single field value.
+using Value = std::variant<int64_t, std::string>;
+
+/// A materialized tuple (one Value per schema column).
+using Tuple = std::vector<Value>;
+
+/// Relation schema: an ordered list of typed, named columns, plus the
+/// tuple wire format used inside partitions and log records.
+///
+/// Wire format: per column, int64 as 8 bytes little-endian; string as
+/// u32 length + bytes. The format is self-delimiting given the schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Validates that `tuple` matches the schema's arity and types.
+  Status Validate(const Tuple& tuple) const;
+
+  /// Encodes a tuple into the wire format. Fails on schema mismatch.
+  Result<std::vector<uint8_t>> Encode(const Tuple& tuple) const;
+
+  /// Decodes wire-format bytes. Fails with Corruption on malformed input.
+  Result<Tuple> Decode(std::span<const uint8_t> data) const;
+
+  /// Serializes the schema itself (for catalog rows).
+  std::vector<uint8_t> Serialize() const;
+  static Result<Schema> Deserialize(std::span<const uint8_t> data,
+                                    size_t* consumed);
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Append helpers shared by catalog/log serialization code.
+namespace wire {
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+void PutI64(std::vector<uint8_t>* out, int64_t v);
+void PutBytes(std::vector<uint8_t>* out, std::span<const uint8_t> v);
+void PutString(std::vector<uint8_t>* out, const std::string& v);
+
+/// Cursor-style reader; every Get checks bounds and returns false on
+/// truncation so decoders can surface Corruption.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+  bool GetU8(uint8_t* v);
+  bool GetU16(uint16_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetBytes(size_t n, std::span<const uint8_t>* v);
+  bool GetString(std::string* v);
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+}  // namespace wire
+
+}  // namespace mmdb
+
+#endif  // MMDB_CATALOG_SCHEMA_H_

@@ -1,0 +1,1316 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "recovery/checkpointer.h"
+#include "recovery/restart_manager.h"
+#include "util/logging.h"
+
+namespace mmdb {
+
+namespace {
+constexpr uint32_t kRootMagic = 0x4D52424B;  // "MRBK"
+}  // namespace
+
+Database::Database(DatabaseOptions opts)
+    : opts_(opts),
+      main_cpu_("main", opts.main_cpu_mips),
+      recovery_cpu_("recovery", opts.recovery_cpu_mips) {
+  MMDB_CHECK(opts_.partition_size_bytes % opts_.log_page_bytes == 0);
+  MMDB_CHECK(opts_.partition_size_bytes >= 4096);
+  opts_.log_disk_params.page_size_bytes = opts_.log_page_bytes;
+  opts_.checkpoint_disk_params.page_size_bytes = opts_.log_page_bytes;
+  opts_.checkpoint_disk_params.pages_per_track =
+      opts_.partition_size_bytes / opts_.log_page_bytes;
+  opts_.costs.s_log_page = static_cast<double>(opts_.log_page_bytes);
+  opts_.costs.s_partition = static_cast<double>(opts_.partition_size_bytes);
+  opts_.costs.n_update = static_cast<double>(opts_.n_update);
+
+  meter_ = std::make_unique<sim::StableMemoryMeter>(opts_.stable_memory_bytes);
+  slb_ = std::make_unique<StableLogBuffer>(
+      StableLogBuffer::Config{opts_.slb_block_bytes, opts_.slb_capacity_bytes},
+      meter_.get());
+  slt_ = std::make_unique<StableLogTail>(
+      StableLogTail::Config{opts_.directory_entries, 50, opts_.log_page_bytes},
+      meter_.get());
+  log_disks_ =
+      std::make_unique<sim::DuplexedDisk>("log", opts_.log_disk_params);
+  checkpoint_disk_ =
+      std::make_unique<sim::Disk>("ckpt", opts_.checkpoint_disk_params);
+  log_writer_ = std::make_unique<LogDiskWriter>(
+      LogDiskWriter::Config{opts_.log_page_bytes, opts_.log_window_pages,
+                            opts_.grace_pages},
+      log_disks_.get());
+  recovery_ = std::make_unique<RecoveryManager>(
+      RecoveryManager::Config{opts_.costs, opts_.n_update}, slb_.get(),
+      slt_.get(), log_writer_.get(), &recovery_cpu_);
+  archive_ = std::make_unique<ArchiveManager>();
+  audit_ = std::make_unique<AuditLog>(
+      AuditLog::Config{opts_.audit_buffer_bytes}, meter_.get());
+
+  v_ = std::make_unique<Volatile>(opts_);
+  v_->catalog_segment = v_->pm.AllocateSegment();
+
+  checkpointer_ = std::make_unique<Checkpointer>(this);
+  restarter_ = std::make_unique<RestartManager>(this);
+}
+
+Database::~Database() = default;
+
+Catalog& Database::catalog() { return v_->catalog; }
+PartitionManager& Database::partitions() { return v_->pm; }
+LockManager& Database::locks() { return v_->locks; }
+
+void Database::MainWork(double instructions) {
+  main_cpu_.Execute(instructions);
+  clock_.Advance(
+      static_cast<uint64_t>(instructions * main_cpu_.ns_per_instruction()));
+}
+
+namespace {
+// WAL pages written by the disk-force / group-commit baselines use a
+// private page namespace on the log disks so they never collide with
+// bin-chain LSNs.
+constexpr uint64_t kWalPageBase = 1ull << 62;
+}  // namespace
+
+void Database::ApplyCommitDurability(uint64_t redo_bytes) {
+  switch (opts_.commit_mode) {
+    case CommitMode::kStableMemory:
+      // Instant: the REDO records already sit in stable memory.
+      return;
+    case CommitMode::kDiskForce: {
+      if (redo_bytes == 0) return;  // read-only
+      uint64_t pages =
+          (redo_bytes + opts_.log_page_bytes - 1) / opts_.log_page_bytes;
+      uint64_t start = clock_.now_ns();
+      uint64_t done = start;
+      std::vector<uint8_t> marker(16, 0);
+      for (uint64_t p = 0; p < pages; ++p) {
+        done = log_disks_->WritePage(kWalPageBase + wal_page_counter_++,
+                                     marker, done,
+                                     sim::SeekClass::kSequential);
+      }
+      clock_.AdvanceTo(done);
+      main_cpu_.IdleUntil(clock_.now_ns());
+      ++log_forces_;
+      commit_wait_ms_total_ += static_cast<double>(done - start) * 1e-6;
+      ++commits_waited_;
+      return;
+    }
+    case CommitMode::kGroupCommit: {
+      group_pending_bytes_ += redo_bytes;
+      group_pending_since_ns_.push_back(clock_.now_ns());
+      if (group_pending_since_ns_.size() >= opts_.group_commit_txns) {
+        FlushCommitGroup();
+      }
+      return;
+    }
+  }
+}
+
+void Database::FlushCommitGroup() {
+  if (group_pending_since_ns_.empty()) return;
+  uint64_t pages = (group_pending_bytes_ + opts_.log_page_bytes - 1) /
+                   opts_.log_page_bytes;
+  if (pages == 0) pages = 1;
+  uint64_t done = clock_.now_ns();
+  std::vector<uint8_t> marker(16, 0);
+  for (uint64_t p = 0; p < pages; ++p) {
+    done = log_disks_->WritePage(kWalPageBase + wal_page_counter_++, marker,
+                                 done, sim::SeekClass::kSequential);
+  }
+  clock_.AdvanceTo(done);
+  main_cpu_.IdleUntil(clock_.now_ns());
+  ++log_forces_;
+  for (uint64_t since : group_pending_since_ns_) {
+    commit_wait_ms_total_ += static_cast<double>(done - since) * 1e-6;
+    ++commits_waited_;
+  }
+  group_pending_since_ns_.clear();
+  group_pending_bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Logged entity operations (paper §2.3: regular logging)
+// ---------------------------------------------------------------------------
+
+Status Database::AppendRedo(Transaction* txn, const LogRecord& redo,
+                            const LogRecord& undo) {
+  Status st = slb_->Append(txn->id(), redo);
+  if (st.IsFull()) {
+    // Let the recovery CPU's sort process free committed blocks, then
+    // retry once.
+    MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+    st = slb_->Append(txn->id(), redo);
+  }
+  if (!st.ok()) return st;
+  v_->undo.Push(txn->id(), undo);
+  txn->NoteRedo(redo.SerializedSize());
+  MainWork(opts_.costs.i_copy_fixed +
+           opts_.costs.i_copy_add *
+               static_cast<double>(redo.SerializedSize()));
+  return Status::OK();
+}
+
+Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
+                                          std::span<const uint8_t> data) {
+  if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (data.size() > 0xFFFF) {
+    return Status::InvalidArgument("entity larger than 64KB");
+  }
+  MainWork(opts_.dml_instructions);
+
+  Partition* target = nullptr;
+  for (Partition* p : v_->pm.SegmentPartitions(segment)) {
+    if (p->free_bytes() + p->garbage_bytes() >= data.size() + 16) {
+      target = p;
+      break;
+    }
+  }
+  uint32_t slot = 0;
+  while (true) {
+    if (target == nullptr) {
+      auto created = CreatePartitionInSegment(segment);
+      if (!created.ok()) return created.status();
+      target = created.value();
+    }
+    auto slot_r = target->Insert(data);
+    if (slot_r.ok()) {
+      slot = slot_r.value();
+      break;
+    }
+    if (!slot_r.status().IsFull()) return slot_r.status();
+    target = nullptr;  // estimate was wrong; take a fresh partition
+  }
+  EntityAddr addr{target->id(), slot};
+
+  // The slot may have been freed by a still-active deleter: respect 2PL.
+  Status lock = v_->locks.Acquire(txn->id(), LockResource::Entity(addr),
+                                  LockMode::kX);
+  MainWork(opts_.lock_instructions);
+  if (!lock.ok()) {
+    MMDB_CHECK(target->Delete(slot).ok());
+    return lock;
+  }
+
+  LogRecord redo;
+  redo.op = LogOp::kInsert;
+  redo.bin_index = target->bin_index();
+  redo.txn_id = txn->id();
+  redo.partition = addr.partition;
+  redo.slot = slot;
+  redo.data.assign(data.begin(), data.end());
+  Status st = AppendRedo(txn, redo, MakeUndo(redo, {}));
+  if (!st.ok()) {
+    MMDB_CHECK(target->Delete(slot).ok());
+    return st;
+  }
+  return addr;
+}
+
+Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
+                              std::span<const uint8_t> data) {
+  if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (data.size() > 0xFFFF) {
+    return Status::InvalidArgument("entity larger than 64KB");
+  }
+  MainWork(opts_.dml_instructions);
+  auto pr = ResidentPartition(addr.partition);
+  if (!pr.ok()) return pr.status();
+  Partition* p = pr.value();
+
+  MMDB_RETURN_IF_ERROR(
+      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+  MainWork(opts_.lock_instructions);
+
+  auto pre_r = p->Read(addr.slot);
+  if (!pre_r.ok()) return pre_r.status();
+  std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
+
+  MMDB_RETURN_IF_ERROR(p->Update(addr.slot, data));
+
+  LogRecord redo;
+  redo.op = LogOp::kUpdate;
+  redo.bin_index = p->bin_index();
+  redo.txn_id = txn->id();
+  redo.partition = addr.partition;
+  redo.slot = addr.slot;
+  redo.data.assign(data.begin(), data.end());
+  Status st = AppendRedo(txn, redo, MakeUndo(redo, pre));
+  if (!st.ok()) {
+    MMDB_CHECK(p->Update(addr.slot, pre).ok());
+    return st;
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteEntity(Transaction* txn, const EntityAddr& addr) {
+  if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  MainWork(opts_.dml_instructions);
+  auto pr = ResidentPartition(addr.partition);
+  if (!pr.ok()) return pr.status();
+  Partition* p = pr.value();
+
+  MMDB_RETURN_IF_ERROR(
+      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+  MainWork(opts_.lock_instructions);
+
+  auto pre_r = p->Read(addr.slot);
+  if (!pre_r.ok()) return pre_r.status();
+  std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
+
+  MMDB_RETURN_IF_ERROR(p->Delete(addr.slot));
+
+  LogRecord redo;
+  redo.op = LogOp::kDelete;
+  redo.bin_index = p->bin_index();
+  redo.txn_id = txn->id();
+  redo.partition = addr.partition;
+  redo.slot = addr.slot;
+  Status st = AppendRedo(txn, redo, MakeUndo(redo, pre));
+  if (!st.ok()) {
+    MMDB_CHECK(p->InsertAt(addr.slot, pre).ok());
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Database::ReadEntity(Transaction* txn,
+                                                  const EntityAddr& addr) {
+  auto pr = ResidentPartition(addr.partition);
+  if (!pr.ok()) return pr.status();
+  Partition* p = pr.value();
+  if (txn != nullptr) {
+    MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+        txn->id(), LockResource::Entity(addr), LockMode::kS));
+    MainWork(opts_.lock_instructions);
+  }
+  auto bytes = p->Read(addr.slot);
+  if (!bytes.ok()) return bytes.status();
+  return std::vector<uint8_t>(bytes.value().begin(), bytes.value().end());
+}
+
+Result<bool> Database::EntityFitsUpdate(const EntityAddr& addr,
+                                        size_t new_size) {
+  auto pr = ResidentPartition(addr.partition);
+  if (!pr.ok()) return pr.status();
+  return pr.value()->CanUpdate(addr.slot, new_size);
+}
+
+Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
+                             LogOp op, const node::Entry& e) {
+  if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  MainWork(opts_.dml_instructions);
+  auto pr = ResidentPartition(addr.partition);
+  if (!pr.ok()) return pr.status();
+  Partition* p = pr.value();
+
+  MMDB_RETURN_IF_ERROR(
+      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+  MainWork(opts_.lock_instructions);
+
+  auto pre_r = p->Read(addr.slot);
+  if (!pre_r.ok()) return pre_r.status();
+  std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
+  std::vector<uint8_t> post = pre;
+  Status st = op == LogOp::kNodeInsertEntry ? node::InsertEntry(&post, e)
+                                            : node::RemoveEntry(&post, e);
+  if (!st.ok()) return st;
+  MMDB_RETURN_IF_ERROR(p->Update(addr.slot, post));
+
+  LogRecord redo;
+  redo.op = op;
+  redo.bin_index = p->bin_index();
+  redo.txn_id = txn->id();
+  redo.partition = addr.partition;
+  redo.slot = addr.slot;
+  redo.key = e.key;
+  redo.child = e.value;
+  st = AppendRedo(txn, redo, MakeUndo(redo, {}));
+  if (!st.ok()) {
+    MMDB_CHECK(p->Update(addr.slot, pre).ok());
+    return st;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Partition residency / creation
+// ---------------------------------------------------------------------------
+
+Result<Partition*> Database::ResidentPartition(PartitionId pid) {
+  auto p = v_->pm.Get(pid);
+  if (p.ok()) return p;
+  if (!p.status().IsNotResident()) return p.status();
+
+  // On-demand recovery (paper §2.5 method 2): a reference to an
+  // unrecovered partition generates a restore.
+  PartitionDescriptor* d = nullptr;
+  if (pid.segment == v_->catalog_segment) {
+    for (auto& cd : v_->catalog_partitions) {
+      if (cd.id == pid) d = &cd;
+    }
+  } else {
+    auto dr = v_->catalog.FindDescriptor(pid);
+    if (dr.ok()) d = dr.value();
+  }
+  if (d == nullptr) {
+    return Status::NotFound("no partition " + pid.ToString());
+  }
+  if (d->resident) {
+    return Status::Corruption("descriptor resident but partition missing");
+  }
+  RestartReport scratch;
+  MMDB_RETURN_IF_ERROR(
+      RecoverPartitionInternal(pid, d->checkpoint_page, &scratch));
+  ++on_demand_recoveries_;
+  return v_->pm.Get(pid);
+}
+
+Result<Partition*> Database::CreatePartitionInSegment(SegmentId segment) {
+  uint32_t number = v_->pm.PeekNextNumber(segment);
+  PartitionId pid{segment, number};
+  auto bin = slt_->RegisterPartition(pid);
+  if (!bin.ok()) return bin.status();
+  auto created = v_->pm.CreatePartition(segment, bin.value());
+  if (!created.ok()) {
+    MMDB_CHECK(slt_->ReleaseBin(bin.value()).ok());
+    return created.status();
+  }
+  Partition* p = created.value();
+  MMDB_CHECK(p->id() == pid);
+
+  PartitionDescriptor d;
+  d.id = pid;
+  d.resident = true;
+
+  if (segment == v_->catalog_segment) {
+    v_->catalog_partitions.push_back(d);
+    MMDB_RETURN_IF_ERROR(WriteCatalogRootBlock());
+    return p;
+  }
+
+  // Register the descriptor with its owner and persist the descriptor
+  // row in its own system transaction (partition allocation, like file
+  // growth, is not undone by user-transaction aborts).
+  std::vector<PartitionDescriptor>* list = nullptr;
+  for (const RelationInfo* rc : v_->catalog.AllRelations()) {
+    auto rel = v_->catalog.GetRelation(rc->name);
+    if (rel.value()->segment == segment) list = &rel.value()->partitions;
+  }
+  if (list == nullptr) {
+    for (auto* rc : v_->catalog.AllRelations()) {
+      auto rel = v_->catalog.GetRelation(rc->name);
+      for (const std::string& iname : rel.value()->index_names) {
+        auto idx = v_->catalog.GetIndex(iname);
+        if (idx.ok() && idx.value()->segment == segment) {
+          list = &idx.value()->partitions;
+        }
+      }
+    }
+  }
+  if (list == nullptr) {
+    return Status::InvalidArgument("segment has no owning object");
+  }
+  list->push_back(d);
+  PartitionDescriptor* stored = &list->back();
+
+  auto txn = Begin(TxnKind::kSystem);
+  if (!txn.ok()) return txn.status();
+  Status st = PersistDescriptorRow(txn.value(), stored);
+  if (!st.ok()) {
+    Status ab = Abort(txn.value());
+    (void)ab;
+    return st;
+  }
+  MMDB_RETURN_IF_ERROR(Commit(txn.value()));
+  return p;
+}
+
+Status Database::PersistDescriptorRow(Transaction* txn,
+                                      PartitionDescriptor* d) {
+  // Identify the owner (relation or index) of the descriptor's segment.
+  uint32_t rel_id = 0;
+  bool is_index = false;
+  std::string owner_name;
+  for (const RelationInfo* rc : v_->catalog.AllRelations()) {
+    if (rc->segment == d->id.segment) {
+      rel_id = rc->id;
+      owner_name = rc->name;
+    }
+    for (const std::string& iname : rc->index_names) {
+      auto idx = v_->catalog.GetIndex(iname);
+      if (idx.ok() && idx.value()->segment == d->id.segment) {
+        rel_id = rc->id;
+        is_index = true;
+        owner_name = iname;
+      }
+    }
+  }
+  if (owner_name.empty()) {
+    return Status::InvalidArgument("descriptor segment has no owner");
+  }
+  std::vector<uint8_t> row =
+      Catalog::SerializePartitionRow(rel_id, is_index, owner_name, *d);
+  if (d->row_addr.IsNull()) {
+    auto addr = InsertEntity(txn, v_->catalog_segment, row);
+    if (!addr.ok()) return addr.status();
+    d->row_addr = addr.value();
+    return Status::OK();
+  }
+  return UpdateEntity(txn, d->row_addr, row);
+}
+
+Status Database::WriteCatalogRootBlock() {
+  std::vector<uint8_t> b;
+  wire::PutU32(&b, kRootMagic);
+  wire::PutU32(&b, v_->catalog_segment);
+  wire::PutU32(&b, opts_.partition_size_bytes);
+  wire::PutU32(&b, static_cast<uint32_t>(v_->catalog_partitions.size()));
+  for (const PartitionDescriptor& d : v_->catalog_partitions) {
+    wire::PutU32(&b, d.id.segment);
+    wire::PutU32(&b, d.id.number);
+    wire::PutU64(&b, d.checkpoint_page);
+    wire::PutU64(&b, d.checkpoint_slot);
+  }
+  meter_->ChargeWrite(2 * b.size());
+  slb_->SetCatalogRoot(b);
+  slt_->SetCatalogRoot(std::move(b));
+  return Status::OK();
+}
+
+Status Database::RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
+                                          RestartReport* report) {
+  uint64_t t = clock_.now_ns();
+  auto bin_idx = slt_->FindBin(pid);
+  if (!bin_idx.ok()) {
+    return Status::Corruption("no Stable Log Tail bin for " + pid.ToString());
+  }
+
+  std::unique_ptr<Partition> part;
+  if (ckpt_page != kNoCheckpointPage) {
+    uint32_t pages_per_slot =
+        opts_.partition_size_bytes / opts_.log_page_bytes;
+    std::vector<std::vector<uint8_t>> pages;
+    uint64_t done = 0;
+    MMDB_RETURN_IF_ERROR(checkpoint_disk_->ReadTrack(
+        ckpt_page, pages_per_slot, t, sim::SeekClass::kRandom, &pages, &done));
+    t = done;
+    std::vector<uint8_t> image;
+    image.reserve(opts_.partition_size_bytes);
+    for (const auto& pg : pages) {
+      image.insert(image.end(), pg.begin(), pg.end());
+    }
+    auto from = Partition::FromImage(std::move(image));
+    if (!from.ok()) return from.status();
+    part = std::move(from).value();
+    if (!(part->id() == pid)) {
+      return Status::Corruption("checkpoint image is for wrong partition");
+    }
+  } else {
+    part = std::make_unique<Partition>(pid, opts_.partition_size_bytes,
+                                       bin_idx.value());
+  }
+
+  // Ordered log page reads: anchors backward, then stream forward
+  // (§2.5.1). Page payloads are byte ranges of the bin's record stream;
+  // concatenate them (plus the stable active page) and apply.
+  std::vector<uint64_t> lsns;
+  uint64_t backward = 0, done = t;
+  MMDB_RETURN_IF_ERROR(
+      recovery_->CollectPageList(bin_idx.value(), t, &lsns, &backward, &done));
+  t = done;
+  std::vector<uint8_t> stream;
+  for (uint64_t lsn : lsns) {
+    ParsedLogPage page;
+    MMDB_RETURN_IF_ERROR(
+        log_writer_->ReadPage(lsn, t, sim::SeekClass::kNear, &page, &done));
+    t = done;
+    stream.insert(stream.end(), page.payload.begin(), page.payload.end());
+    ++report->log_pages_read;
+  }
+  auto bin = slt_->bin(bin_idx.value());
+  if (bin.ok() && !bin.value()->active_page.empty()) {
+    meter_->ChargeRead(bin.value()->active_page.size());
+    stream.insert(stream.end(), bin.value()->active_page.begin(),
+                  bin.value()->active_page.end());
+  }
+  std::vector<LogRecord> records;
+  MMDB_RETURN_IF_ERROR(ParseLogStream(stream, &records));
+  for (const LogRecord& rec : records) {
+    MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, part.get()));
+    main_cpu_.Execute(opts_.apply_instructions_per_record);
+    ++report->records_applied;
+  }
+
+  clock_.AdvanceTo(t);
+  main_cpu_.IdleUntil(clock_.now_ns());
+  MMDB_RETURN_IF_ERROR(v_->pm.InstallRecovered(std::move(part)));
+  auto d = v_->catalog.FindDescriptor(pid);
+  if (d.ok()) d.value()->resident = true;
+  ++report->partitions_recovered;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Status Database::CreateRelation(const std::string& name, Schema schema) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  SegmentId seg = v_->pm.AllocateSegment();
+  auto rel = v_->catalog.CreateRelation(name, std::move(schema), seg);
+  if (!rel.ok()) return rel.status();
+
+  auto txn = Begin(TxnKind::kSystem);
+  if (!txn.ok()) return txn.status();
+  auto addr = InsertEntity(txn.value(), v_->catalog_segment,
+                           Catalog::SerializeRelationRow(*rel.value()));
+  if (!addr.ok()) {
+    Status ab = Abort(txn.value());
+    (void)ab;
+    MMDB_CHECK(v_->catalog.DropRelation(name).ok());
+    return addr.status();
+  }
+  rel.value()->row_addr = addr.value();
+  return Commit(txn.value());
+}
+
+Status Database::CreateIndex(const std::string& index_name,
+                             const std::string& relation_name,
+                             const std::string& column_name, IndexType type) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  auto rel = v_->catalog.GetRelation(relation_name);
+  if (!rel.ok()) return rel.status();
+  int col = rel.value()->schema.FindColumn(column_name);
+  if (col < 0) return Status::InvalidArgument("no column " + column_name);
+  if (rel.value()->schema.columns()[col].type != ColumnType::kInt64) {
+    return Status::NotSupported("indexes require int64 columns");
+  }
+
+  SegmentId seg = v_->pm.AllocateSegment();
+  auto idx = v_->catalog.CreateIndex(index_name, rel.value()->id,
+                                     static_cast<uint32_t>(col), type, seg);
+  if (!idx.ok()) return idx.status();
+
+  auto txn = Begin(TxnKind::kSystem);
+  if (!txn.ok()) return txn.status();
+  Transaction* t = txn.value();
+  TxnEntityStore store(this, t);
+
+  Status st = Status::OK();
+  if (type == IndexType::kTTree) {
+    auto tree = TTree::Create(store, seg, opts_.ttree_node_capacity);
+    if (!tree.ok()) {
+      st = tree.status();
+    } else {
+      v_->ttrees.emplace(index_name, tree.value());
+    }
+  } else {
+    auto hash = LinearHash::Create(store, seg, opts_.hash_initial_buckets,
+                                   opts_.hash_node_capacity);
+    if (!hash.ok()) {
+      st = hash.status();
+    } else {
+      v_->hashes.emplace(index_name, hash.value());
+    }
+  }
+
+  if (st.ok()) {
+    auto addr = InsertEntity(t, v_->catalog_segment,
+                             Catalog::SerializeIndexRow(*idx.value()));
+    if (!addr.ok()) {
+      st = addr.status();
+    } else {
+      idx.value()->row_addr = addr.value();
+      st = UpdateEntity(t, rel.value()->row_addr,
+                        Catalog::SerializeRelationRow(*rel.value()));
+    }
+  }
+
+  // Backfill from existing tuples.
+  if (st.ok()) {
+    for (const PartitionDescriptor& d : rel.value()->partitions) {
+      auto pr = ResidentPartition(d.id);
+      if (!pr.ok()) {
+        st = pr.status();
+        break;
+      }
+      Partition* p = pr.value();
+      for (uint32_t s = 0; s < p->slot_count() && st.ok(); ++s) {
+        if (!p->SlotUsed(s)) continue;
+        auto bytes = p->Read(s);
+        if (!bytes.ok()) {
+          st = bytes.status();
+          break;
+        }
+        auto tuple = rel.value()->schema.Decode(bytes.value());
+        if (!tuple.ok()) {
+          st = tuple.status();
+          break;
+        }
+        int64_t key = std::get<int64_t>(tuple.value()[col]);
+        EntityAddr addr{d.id, s};
+        if (type == IndexType::kTTree) {
+          st = v_->ttrees.at(index_name).Insert(store, key, addr);
+        } else {
+          st = v_->hashes.at(index_name).Insert(store, key, addr);
+        }
+      }
+      if (!st.ok()) break;
+    }
+  }
+
+  if (!st.ok()) {
+    Status ab = Abort(t);
+    (void)ab;
+    v_->ttrees.erase(index_name);
+    v_->hashes.erase(index_name);
+    // Catalog entry rollback: drop the index from the in-memory catalog.
+    auto& names = rel.value()->index_names;
+    names.erase(std::remove(names.begin(), names.end(), index_name),
+                names.end());
+    return st;
+  }
+  return Commit(t);
+}
+
+Status Database::LogObjectDrop(
+    Transaction* txn, const std::vector<PartitionDescriptor>& descriptors) {
+  std::set<uint32_t> chunks;
+  for (const PartitionDescriptor& d : descriptors) {
+    if (d.has_checkpoint()) {
+      MMDB_RETURN_IF_ERROR(v_->disk_map.Free(d.checkpoint_slot));
+      chunks.insert(DiskAllocationMap::ChunkOf(d.checkpoint_slot));
+    }
+    if (!d.row_addr.IsNull()) {
+      MMDB_RETURN_IF_ERROR(DeleteEntity(txn, d.row_addr));
+    }
+  }
+  auto& addrs = v_->disk_map.chunk_row_addrs;
+  for (uint32_t chunk : chunks) {
+    if (addrs.size() <= chunk) addrs.resize(chunk + 1);
+    std::vector<uint8_t> row = Catalog::SerializeDiskMapRow(v_->disk_map, chunk);
+    if (addrs[chunk].IsNull()) {
+      auto a = InsertEntity(txn, v_->catalog_segment, row);
+      if (!a.ok()) return a.status();
+      addrs[chunk] = a.value();
+    } else {
+      MMDB_RETURN_IF_ERROR(UpdateEntity(txn, addrs[chunk], row));
+    }
+  }
+  return Status::OK();
+}
+
+void Database::ReleaseSegmentStorage(
+    const std::vector<PartitionDescriptor>& descriptors) {
+  for (const PartitionDescriptor& d : descriptors) {
+    auto bin = slt_->FindBin(d.id);
+    if (bin.ok()) {
+      recovery_->OnPartitionDropped(bin.value());
+      Status st = slt_->ReleaseBin(bin.value());
+      (void)st;
+    }
+    Status st = v_->pm.DropPartition(d.id);
+    (void)st;  // non-resident partitions are fine
+  }
+}
+
+Status Database::DropIndex(const std::string& index_name) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  auto idx = v_->catalog.GetIndex(index_name);
+  if (!idx.ok()) return idx.status();
+  auto rel = v_->catalog.GetRelationById(idx.value()->relation_id);
+  if (!rel.ok()) return rel.status();
+
+  auto txn_r = Begin(TxnKind::kSystem);
+  if (!txn_r.ok()) return txn_r.status();
+  Transaction* txn = txn_r.value();
+  Status st = v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kX);
+  if (st.ok()) st = recovery_->Drain(clock_.now_ns());
+  std::vector<PartitionDescriptor> descriptors = idx.value()->partitions;
+  if (st.ok()) st = LogObjectDrop(txn, descriptors);
+  if (st.ok() && !idx.value()->row_addr.IsNull()) {
+    st = DeleteEntity(txn, idx.value()->row_addr);
+  }
+  if (st.ok()) {
+    // Reflect the removal in the relation's persisted row.
+    auto& names = rel.value()->index_names;
+    names.erase(std::remove(names.begin(), names.end(), index_name),
+                names.end());
+    st = UpdateEntity(txn, rel.value()->row_addr,
+                      Catalog::SerializeRelationRow(*rel.value()));
+  }
+  if (!st.ok()) {
+    // Roll back: the abort reverts the rows; reclaim the freed slots.
+    for (const PartitionDescriptor& d : descriptors) {
+      if (d.has_checkpoint()) {
+        Status rc = v_->disk_map.Reclaim(d.checkpoint_slot, d.id.Pack());
+        (void)rc;
+      }
+    }
+    if (v_->catalog.GetIndex(index_name).ok()) {
+      // Restore the in-memory index_names if we removed it.
+      auto& names = rel.value()->index_names;
+      if (std::find(names.begin(), names.end(), index_name) == names.end()) {
+        names.push_back(index_name);
+      }
+    }
+    Status ab = Abort(txn);
+    (void)ab;
+    return st;
+  }
+  MMDB_RETURN_IF_ERROR(Commit(txn));
+  // Non-logged teardown after the commit point (crash before this leaves
+  // only harmless orphaned bins/partitions; ids are never reused).
+  ReleaseSegmentStorage(descriptors);
+  v_->ttrees.erase(index_name);
+  v_->hashes.erase(index_name);
+  return v_->catalog.DropIndex(index_name);
+}
+
+Status Database::DropRelation(const std::string& relation_name) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  auto rel = v_->catalog.GetRelation(relation_name);
+  if (!rel.ok()) return rel.status();
+  // Drop indexes first (each in its own system transaction).
+  std::vector<std::string> index_names = rel.value()->index_names;
+  for (const std::string& iname : index_names) {
+    MMDB_RETURN_IF_ERROR(DropIndex(iname));
+  }
+
+  auto txn_r = Begin(TxnKind::kSystem);
+  if (!txn_r.ok()) return txn_r.status();
+  Transaction* txn = txn_r.value();
+  Status st = v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kX);
+  if (st.ok()) st = recovery_->Drain(clock_.now_ns());
+  std::vector<PartitionDescriptor> descriptors = rel.value()->partitions;
+  if (st.ok()) st = LogObjectDrop(txn, descriptors);
+  if (st.ok() && !rel.value()->row_addr.IsNull()) {
+    st = DeleteEntity(txn, rel.value()->row_addr);
+  }
+  if (!st.ok()) {
+    for (const PartitionDescriptor& d : descriptors) {
+      if (d.has_checkpoint()) {
+        Status rc = v_->disk_map.Reclaim(d.checkpoint_slot, d.id.Pack());
+        (void)rc;
+      }
+    }
+    Status ab = Abort(txn);
+    (void)ab;
+    return st;
+  }
+  MMDB_RETURN_IF_ERROR(Commit(txn));
+  ReleaseSegmentStorage(descriptors);
+  return v_->catalog.DropRelation(relation_name);
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Result<Transaction*> Database::Begin(TxnKind kind,
+                                     const std::string& user_data) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  MainWork(50);
+  Transaction* txn = v_->txns.Begin(kind);
+  if (opts_.audit_logging && kind == TxnKind::kUser) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(AuditRecord{
+        txn->id(), clock_.now_ns(), AuditKind::kBegin, user_data}));
+  }
+  return txn;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("commit of inactive transaction");
+  }
+  MainWork(100);
+  uint64_t id = txn->id();
+  TxnKind kind = txn->kind();
+  uint64_t redo_bytes = txn->redo_bytes();
+  MMDB_RETURN_IF_ERROR(slb_->Commit(id));
+  if (kind == TxnKind::kUser) ApplyCommitDurability(redo_bytes);
+  if (opts_.audit_logging && kind == TxnKind::kUser) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(
+        AuditRecord{id, clock_.now_ns(), AuditKind::kCommit, ""}));
+  }
+  v_->undo.Discard(id);
+  v_->locks.ReleaseAll(id);
+  txn->set_state(TxnState::kCommitted);
+  v_->txns.NoteCommit();
+  v_->txns.Finish(id);
+
+  if (kind == TxnKind::kUser && !in_maintenance_) {
+    if (opts_.auto_pump_recovery) {
+      MMDB_RETURN_IF_ERROR(PumpRecovery());
+    }
+    if (opts_.auto_run_checkpoints) {
+      MMDB_RETURN_IF_ERROR(RunCheckpoints());
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("abort of inactive transaction");
+  }
+  uint64_t id = txn->id();
+  std::vector<LogRecord> undo = v_->undo.TakeReversed(id);
+  for (const LogRecord& rec : undo) {
+    auto pr = v_->pm.Get(rec.partition);
+    if (!pr.ok()) return pr.status();
+    Status st = ApplyLogRecord(rec, pr.value());
+    if (!st.ok()) {
+      return Status::Corruption("UNDO failed: " + st.ToString());
+    }
+    MainWork(opts_.apply_instructions_per_record);
+  }
+  MMDB_RETURN_IF_ERROR(slb_->Discard(id));
+  v_->locks.ReleaseAll(id);
+  TxnKind kind = txn->kind();
+  txn->set_state(TxnState::kAborted);
+  v_->txns.NoteAbort();
+  v_->txns.Finish(id);
+  if (opts_.audit_logging && kind == TxnKind::kUser) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(
+        AuditRecord{id, clock_.now_ns(), AuditKind::kAbort, ""}));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<RelationInfo*> Database::LookupRelation(Transaction* txn,
+                                               const std::string& name) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("inactive transaction");
+  }
+  return v_->catalog.GetRelation(name);
+}
+
+Result<TTree*> Database::GetTTree(const std::string& name) {
+  auto it = v_->ttrees.find(name);
+  if (it != v_->ttrees.end()) return &it->second;
+  auto idx = v_->catalog.GetIndex(name);
+  if (!idx.ok()) return idx.status();
+  if (idx.value()->type != IndexType::kTTree) {
+    return Status::InvalidArgument(name + " is not a T-Tree");
+  }
+  MMDB_RETURN_IF_ERROR(
+      ResidentPartition(PartitionId{idx.value()->segment, 0}).status());
+  TxnEntityStore store(this, nullptr);
+  auto tree = TTree::Attach(store, idx.value()->segment);
+  if (!tree.ok()) return tree.status();
+  auto [it2, _] = v_->ttrees.emplace(name, tree.value());
+  return &it2->second;
+}
+
+Result<LinearHash*> Database::GetLinearHash(const std::string& name) {
+  auto it = v_->hashes.find(name);
+  if (it != v_->hashes.end()) return &it->second;
+  auto idx = v_->catalog.GetIndex(name);
+  if (!idx.ok()) return idx.status();
+  if (idx.value()->type != IndexType::kLinearHash) {
+    return Status::InvalidArgument(name + " is not a linear hash index");
+  }
+  MMDB_RETURN_IF_ERROR(
+      ResidentPartition(PartitionId{idx.value()->segment, 0}).status());
+  TxnEntityStore store(this, nullptr);
+  auto hash = LinearHash::Attach(store, idx.value()->segment);
+  if (!hash.ok()) return hash.status();
+  auto [it2, _] = v_->hashes.emplace(name, hash.value());
+  return &it2->second;
+}
+
+Status Database::MaintainIndexesOnInsert(Transaction* txn, RelationInfo* rel,
+                                         const Tuple& tuple,
+                                         const EntityAddr& addr) {
+  TxnEntityStore store(this, txn);
+  for (const std::string& iname : rel->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    int64_t key = std::get<int64_t>(tuple[idx.value()->column]);
+    if (idx.value()->type == IndexType::kTTree) {
+      auto tree = GetTTree(iname);
+      if (!tree.ok()) return tree.status();
+      MMDB_RETURN_IF_ERROR(tree.value()->Insert(store, key, addr));
+    } else {
+      auto hash = GetLinearHash(iname);
+      if (!hash.ok()) return hash.status();
+      MMDB_RETURN_IF_ERROR(hash.value()->Insert(store, key, addr));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::MaintainIndexesOnDelete(Transaction* txn, RelationInfo* rel,
+                                         const Tuple& tuple,
+                                         const EntityAddr& addr) {
+  TxnEntityStore store(this, txn);
+  for (const std::string& iname : rel->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    int64_t key = std::get<int64_t>(tuple[idx.value()->column]);
+    if (idx.value()->type == IndexType::kTTree) {
+      auto tree = GetTTree(iname);
+      if (!tree.ok()) return tree.status();
+      MMDB_RETURN_IF_ERROR(tree.value()->Remove(store, key, addr));
+    } else {
+      auto hash = GetLinearHash(iname);
+      if (!hash.ok()) return hash.status();
+      MMDB_RETURN_IF_ERROR(hash.value()->Remove(store, key, addr));
+    }
+  }
+  return Status::OK();
+}
+
+Result<EntityAddr> Database::Insert(Transaction* txn,
+                                    const std::string& relation,
+                                    const Tuple& tuple) {
+  auto rel = LookupRelation(txn, relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
+  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  auto bytes = rel.value()->schema.Encode(tuple);
+  if (!bytes.ok()) return bytes.status();
+  auto addr = InsertEntity(txn, rel.value()->segment, bytes.value());
+  if (!addr.ok()) return addr.status();
+  MMDB_RETURN_IF_ERROR(
+      MaintainIndexesOnInsert(txn, rel.value(), tuple, addr.value()));
+  return addr;
+}
+
+Status Database::Update(Transaction* txn, const std::string& relation,
+                        const EntityAddr& addr, const Tuple& tuple) {
+  auto rel = LookupRelation(txn, relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
+  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  auto old_bytes = ReadEntity(txn, addr);
+  if (!old_bytes.ok()) return old_bytes.status();
+  auto old_tuple = rel.value()->schema.Decode(old_bytes.value());
+  if (!old_tuple.ok()) return old_tuple.status();
+
+  auto bytes = rel.value()->schema.Encode(tuple);
+  if (!bytes.ok()) return bytes.status();
+  MMDB_RETURN_IF_ERROR(UpdateEntity(txn, addr, bytes.value()));
+
+  // Index maintenance for changed keys.
+  TxnEntityStore store(this, txn);
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    int64_t old_key = std::get<int64_t>(old_tuple.value()[idx.value()->column]);
+    int64_t new_key = std::get<int64_t>(tuple[idx.value()->column]);
+    if (old_key == new_key) continue;
+    if (idx.value()->type == IndexType::kTTree) {
+      auto tree = GetTTree(iname);
+      if (!tree.ok()) return tree.status();
+      MMDB_RETURN_IF_ERROR(tree.value()->Remove(store, old_key, addr));
+      MMDB_RETURN_IF_ERROR(tree.value()->Insert(store, new_key, addr));
+    } else {
+      auto hash = GetLinearHash(iname);
+      if (!hash.ok()) return hash.status();
+      MMDB_RETURN_IF_ERROR(hash.value()->Remove(store, old_key, addr));
+      MMDB_RETURN_IF_ERROR(hash.value()->Insert(store, new_key, addr));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Delete(Transaction* txn, const std::string& relation,
+                        const EntityAddr& addr) {
+  auto rel = LookupRelation(txn, relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  auto old_bytes = ReadEntity(txn, addr);
+  if (!old_bytes.ok()) return old_bytes.status();
+  auto old_tuple = rel.value()->schema.Decode(old_bytes.value());
+  if (!old_tuple.ok()) return old_tuple.status();
+  MMDB_RETURN_IF_ERROR(DeleteEntity(txn, addr));
+  return MaintainIndexesOnDelete(txn, rel.value(), old_tuple.value(), addr);
+}
+
+Result<Tuple> Database::Read(Transaction* txn, const std::string& relation,
+                             const EntityAddr& addr) {
+  auto rel = LookupRelation(txn, relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIS));
+  auto bytes = ReadEntity(txn, addr);
+  if (!bytes.ok()) return bytes.status();
+  return rel.value()->schema.Decode(bytes.value());
+}
+
+Result<std::vector<EntityAddr>> Database::IndexLookup(
+    Transaction* txn, const std::string& index_name, int64_t key) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("inactive transaction");
+  }
+  auto idx = v_->catalog.GetIndex(index_name);
+  if (!idx.ok()) return idx.status();
+  MMDB_RETURN_IF_ERROR(
+      v_->locks.Acquire(txn->id(),
+                        LockResource::Relation(idx.value()->relation_id),
+                        LockMode::kIS));
+  TxnEntityStore store(this, txn);
+  if (idx.value()->type == IndexType::kTTree) {
+    auto tree = GetTTree(index_name);
+    if (!tree.ok()) return tree.status();
+    return tree.value()->Lookup(store, key);
+  }
+  auto hash = GetLinearHash(index_name);
+  if (!hash.ok()) return hash.status();
+  return hash.value()->Lookup(store, key);
+}
+
+Result<std::vector<node::Entry>> Database::IndexRange(
+    Transaction* txn, const std::string& index_name, int64_t lo, int64_t hi) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  if (txn == nullptr || !txn->active()) {
+    return Status::InvalidArgument("inactive transaction");
+  }
+  auto idx = v_->catalog.GetIndex(index_name);
+  if (!idx.ok()) return idx.status();
+  if (idx.value()->type != IndexType::kTTree) {
+    return Status::NotSupported("range scans require a T-Tree index");
+  }
+  MMDB_RETURN_IF_ERROR(
+      v_->locks.Acquire(txn->id(),
+                        LockResource::Relation(idx.value()->relation_id),
+                        LockMode::kIS));
+  TxnEntityStore store(this, txn);
+  auto tree = GetTTree(index_name);
+  if (!tree.ok()) return tree.status();
+  return tree.value()->Range(store, lo, hi);
+}
+
+Result<std::vector<std::pair<EntityAddr, Tuple>>> Database::Scan(
+    Transaction* txn, const std::string& relation) {
+  auto rel = LookupRelation(txn, relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
+      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kS));
+  std::vector<std::pair<EntityAddr, Tuple>> out;
+  for (const PartitionDescriptor& d : rel.value()->partitions) {
+    auto pr = ResidentPartition(d.id);
+    if (!pr.ok()) return pr.status();
+    Partition* p = pr.value();
+    for (uint32_t s = 0; s < p->slot_count(); ++s) {
+      if (!p->SlotUsed(s)) continue;
+      auto bytes = p->Read(s);
+      if (!bytes.ok()) return bytes.status();
+      auto tuple = rel.value()->schema.Decode(bytes.value());
+      if (!tuple.ok()) return tuple.status();
+      out.emplace_back(EntityAddr{d.id, s}, std::move(tuple).value());
+      MainWork(10);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery control
+// ---------------------------------------------------------------------------
+
+Status Database::PumpRecovery(uint64_t max_records) {
+  auto n = recovery_->Pump(max_records, clock_.now_ns());
+  if (!n.ok()) return n.status();
+  return Status::OK();
+}
+
+Status Database::RunCheckpoints() {
+  if (in_maintenance_) return Status::OK();
+  in_maintenance_ = true;
+  Status st = checkpointer_->Poll();
+  in_maintenance_ = false;
+  return st;
+}
+
+Status Database::ForceCheckpointRelation(const std::string& relation) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  auto rel = v_->catalog.GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+  for (const PartitionDescriptor& d : rel.value()->partitions) {
+    slb_->RequestCheckpoint(d.id, CheckpointTrigger::kForced);
+  }
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    for (const PartitionDescriptor& d : idx.value()->partitions) {
+      slb_->RequestCheckpoint(d.id, CheckpointTrigger::kForced);
+    }
+  }
+  return RunCheckpoints();
+}
+
+Status Database::CheckpointEverything() {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+  for (Partition* p : v_->pm.AllPartitions()) {
+    slb_->RequestCheckpoint(p->id(), CheckpointTrigger::kForced);
+  }
+  return RunCheckpoints();
+}
+
+void Database::Crash() {
+  // Volatile state is gone: the primary copy, locks, UNDO space,
+  // in-flight transactions, in-memory catalogs.
+  v_ = std::make_unique<Volatile>(opts_);
+  slb_->OnCrash();
+  v_->undo.Clear();
+  recovery_->RebuildFirstLsnList();
+  crashed_ = true;
+}
+
+Status Database::Restart() {
+  if (!crashed_) return Status::InvalidArgument("Restart() without a crash");
+  last_restart_ = RestartReport{};
+  Status st = restarter_->Restart(&last_restart_);
+  if (st.ok() && opts_.audit_logging) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(
+        AuditRecord{0, clock_.now_ns(), AuditKind::kRestart, ""}));
+  }
+  return st;
+}
+
+Status Database::RecoverRelation(const std::string& relation) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  auto rel = v_->catalog.GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  RestartReport scratch;
+  for (PartitionDescriptor& d : rel.value()->partitions) {
+    if (d.resident) continue;
+    MMDB_RETURN_IF_ERROR(
+        RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
+  }
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    for (PartitionDescriptor& d : idx.value()->partitions) {
+      if (d.resident) continue;
+      MMDB_RETURN_IF_ERROR(
+          RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::BackgroundRecoveryStep(bool* done) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  *done = true;
+  RestartReport scratch;
+  for (const RelationInfo* rc : v_->catalog.AllRelations()) {
+    auto rel = v_->catalog.GetRelation(rc->name);
+    for (PartitionDescriptor& d : rel.value()->partitions) {
+      if (d.resident) continue;
+      MMDB_RETURN_IF_ERROR(
+          RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
+      ++background_recoveries_;
+      *done = false;
+      return Status::OK();
+    }
+    for (const std::string& iname : rel.value()->index_names) {
+      auto idx = v_->catalog.GetIndex(iname);
+      if (!idx.ok()) return idx.status();
+      for (PartitionDescriptor& d : idx.value()->partitions) {
+        if (d.resident) continue;
+        MMDB_RETURN_IF_ERROR(
+            RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
+        ++background_recoveries_;
+        *done = false;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool Database::FullyResident() {
+  for (const RelationInfo* rc : v_->catalog.AllRelations()) {
+    for (const PartitionDescriptor& d : rc->partitions) {
+      if (!d.resident) return false;
+    }
+    for (const std::string& iname : rc->index_names) {
+      auto idx = v_->catalog.GetIndex(iname);
+      if (!idx.ok()) return false;
+      for (const PartitionDescriptor& d : idx.value()->partitions) {
+        if (!d.resident) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Database::IsRelationResident(const std::string& relation) {
+  auto rel = v_->catalog.GetRelation(relation);
+  if (!rel.ok()) return false;
+  for (const PartitionDescriptor& d : rel.value()->partitions) {
+    if (!d.resident) return false;
+  }
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = v_->catalog.GetIndex(iname);
+    if (!idx.ok()) return false;
+    for (const PartitionDescriptor& d : idx.value()->partitions) {
+      if (!d.resident) return false;
+    }
+  }
+  return true;
+}
+
+Status Database::FailAndRecoverCheckpointDisk() {
+  checkpoint_disk_->FailMedia();
+  checkpoint_disk_->RepairMedia();
+  uint64_t done = 0;
+  MMDB_RETURN_IF_ERROR(archive_->RecoverCheckpointDisk(
+      checkpoint_disk_.get(), clock_.now_ns(), &done));
+  clock_.AdvanceTo(done);
+  return Status::OK();
+}
+
+DatabaseStats Database::GetStats() const {
+  DatabaseStats s;
+  s.txns_committed = v_->txns.committed();
+  s.txns_aborted = v_->txns.aborted();
+  s.records_logged = slb_->records_appended();
+  s.bytes_logged = slb_->bytes_appended();
+  s.records_sorted = recovery_->records_sorted();
+  s.log_pages_flushed = recovery_->pages_flushed();
+  s.checkpoints_completed = checkpoints_completed_;
+  s.checkpoints_update_count = recovery_->checkpoints_requested_update();
+  s.checkpoints_age = recovery_->checkpoints_requested_age();
+  s.partitions_resident = v_->pm.resident_count();
+  s.on_demand_recoveries = on_demand_recoveries_;
+  s.background_recoveries = background_recoveries_;
+  s.main_cpu_instructions = main_cpu_.total_instructions();
+  s.recovery_cpu_instructions = recovery_cpu_.total_instructions();
+  s.stable_memory_high_water = meter_->high_water_bytes();
+  s.lock_conflicts = v_->locks.conflicts();
+  s.log_forces = log_forces_;
+  s.commit_wait_ms_total = commit_wait_ms_total_;
+  s.commits_waited = commits_waited_;
+  return s;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,430 @@
+#ifndef MMDB_CORE_DATABASE_H_
+#define MMDB_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/model.h"
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "index/linear_hash.h"
+#include "index/ttree.h"
+#include "log/audit_log.h"
+#include "log/log_disk.h"
+#include "log/slb.h"
+#include "log/slt.h"
+#include "recovery/archive.h"
+#include "recovery/recovery_manager.h"
+#include "sim/clock.h"
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/stable_memory.h"
+#include "storage/entity_store.h"
+#include "storage/partition_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/undo_space.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+class Checkpointer;
+class RestartManager;
+
+/// Commit durability strategy. The paper's design commits *instantly*
+/// because REDO records are already in stable memory (§2.3.1); the other
+/// two modes are comparison baselines from the paper's survey (§1.1-1.2).
+enum class CommitMode : uint8_t {
+  /// Stable Log Buffer: transactions "commit instantly — they do not
+  /// need to wait until the REDO log records are flushed to disk."
+  kStableMemory = 0,
+  /// Disk-resident WAL: every commit forces the transaction's log to the
+  /// log disk and waits (classic write-ahead logging without a stable
+  /// buffer).
+  kDiskForce = 1,
+  /// IMS FASTPATH-style group commit: a committing transaction
+  /// *precommits* (its locks are released, its log is still in volatile
+  /// buffer), and officially commits when the accumulated group is
+  /// flushed.
+  kGroupCommit = 2,
+};
+
+/// Post-crash recovery policy (paper §2.5, §3.4).
+enum class RestartPolicy : uint8_t {
+  /// Partition-level: catalogs first, then partitions on demand as
+  /// transactions reference them, remainder in the background. The
+  /// paper's proposal.
+  kOnDemand = 0,
+  /// Database-level recovery (the §3.4 comparison baseline): the entire
+  /// database is reloaded and all log applied before the first
+  /// transaction can run — "a special case of partition-level recovery,
+  /// with one very large partition".
+  kFullReload = 1,
+};
+
+struct DatabaseOptions {
+  uint32_t partition_size_bytes = 48 * 1024;
+  uint32_t log_page_bytes = 8 * 1024;
+  uint32_t slb_block_bytes = 2048;
+  uint64_t slb_capacity_bytes = 2 * 1024 * 1024;
+  /// Total stable reliable memory (SLB blocks + SLT info blocks and
+  /// active pages). Paper: "a few megabytes".
+  uint64_t stable_memory_bytes = 16ull * 1024 * 1024;
+  /// Log Page Directory entries per bin (Table 2 environs: median pages
+  /// per active partition).
+  uint32_t directory_entries = 8;
+  /// Log window size in pages; small windows force age checkpoints.
+  uint64_t log_window_pages = 1ull << 30;
+  uint64_t grace_pages = 64;
+  /// Update-count checkpoint threshold (Table 2's N_update).
+  uint64_t n_update = 1000;
+  /// Checkpoint-disk capacity in partition-sized slots.
+  uint64_t checkpoint_disk_slots = 8192;
+
+  sim::DiskParams log_disk_params;
+  sim::DiskParams checkpoint_disk_params;
+  double main_cpu_mips = 6.0;
+  double recovery_cpu_mips = 1.0;
+  /// Instruction-count model (Table 2) charged to the recovery CPU.
+  analysis::Table2 costs;
+
+  /// Main-CPU instruction estimates (not part of the paper's analysis;
+  /// used only so the main CPU has a sensible timeline).
+  double dml_instructions = 300.0;
+  double lock_instructions = 25.0;
+  double apply_instructions_per_record = 50.0;
+
+  RestartPolicy restart_policy = RestartPolicy::kOnDemand;
+  CommitMode commit_mode = CommitMode::kStableMemory;
+  /// Group-commit batch size (transactions per forced flush).
+  uint32_t group_commit_txns = 8;
+  /// Audit trail logging (paper §2.3.2; stable memory, DeWitt-style).
+  bool audit_logging = true;
+  uint64_t audit_buffer_bytes = 64 * 1024;
+  /// Pump the recovery CPU's sort process automatically after each user
+  /// commit (models the parallel recovery CPU).
+  bool auto_pump_recovery = true;
+  /// Run pending checkpoint transactions between user transactions
+  /// (paper §2.4 step 2).
+  bool auto_run_checkpoints = true;
+
+  uint16_t ttree_node_capacity = TTree::kDefaultNodeCapacity;
+  uint32_t hash_initial_buckets = 8;
+  uint16_t hash_node_capacity = LinearHash::kDefaultNodeCapacity;
+};
+
+/// Aggregated counters for benches and tests.
+struct DatabaseStats {
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t records_logged = 0;
+  uint64_t bytes_logged = 0;
+  uint64_t records_sorted = 0;
+  uint64_t log_pages_flushed = 0;
+  uint64_t checkpoints_completed = 0;
+  uint64_t checkpoints_update_count = 0;
+  uint64_t checkpoints_age = 0;
+  uint64_t partitions_resident = 0;
+  uint64_t on_demand_recoveries = 0;
+  uint64_t background_recoveries = 0;
+  double main_cpu_instructions = 0;
+  double recovery_cpu_instructions = 0;
+  uint64_t stable_memory_high_water = 0;
+  uint64_t lock_conflicts = 0;
+  /// Commit-mode accounting: forced log flushes and total/average commit
+  /// wait in virtual milliseconds (zero under kStableMemory).
+  uint64_t log_forces = 0;
+  double commit_wait_ms_total = 0;
+  uint64_t commits_waited = 0;
+};
+
+/// Timings of the most recent Restart() (virtual milliseconds).
+struct RestartReport {
+  double catalog_ms = 0;            // time until catalogs usable
+  double total_ms = 0;              // time until Restart() returned
+  uint64_t catalog_partitions = 0;
+  uint64_t partitions_recovered = 0;  // during Restart itself
+  uint64_t log_pages_read = 0;
+  uint64_t records_applied = 0;
+};
+
+/// The memory-resident database system with the paper's recovery
+/// architecture.
+///
+/// Volatile state (the primary memory copy of the database, lock tables,
+/// UNDO space) is destroyed by Crash(); the stable store (Stable Log
+/// Buffer, Stable Log Tail, log/checkpoint/archive disks) survives and is
+/// the source for Restart().
+///
+/// Single-threaded cooperative simulation: the "recovery CPU" runs when
+/// pumped (automatically after commits by default), with its work
+/// accounted on its own private timeline so the two processors remain
+/// logically parallel.
+class Database {
+ public:
+  explicit Database(DatabaseOptions opts = DatabaseOptions());
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const DatabaseOptions& options() const { return opts_; }
+
+  // --- DDL ------------------------------------------------------------------
+  Status CreateRelation(const std::string& name, Schema schema);
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& relation_name,
+                     const std::string& column_name, IndexType type);
+  /// Drops an index: its catalog rows are deleted transactionally, its
+  /// checkpoint-disk slots freed, its partitions and Stable Log Tail
+  /// bins released. DDL is auto-committed (not undone by user aborts).
+  Status DropIndex(const std::string& index_name);
+  /// Drops a relation and all of its indexes.
+  Status DropRelation(const std::string& relation_name);
+
+  // --- transactions -----------------------------------------------------------
+  /// Begins a transaction. The pointer is owned by the database and is
+  /// invalidated by Commit/Abort. `user_data` (e.g. the initiating
+  /// message) goes to the audit trail log.
+  Result<Transaction*> Begin(TxnKind kind = TxnKind::kUser,
+                             const std::string& user_data = "");
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  // --- DML ------------------------------------------------------------------
+  Result<EntityAddr> Insert(Transaction* txn, const std::string& relation,
+                            const Tuple& tuple);
+  Status Update(Transaction* txn, const std::string& relation,
+                const EntityAddr& addr, const Tuple& tuple);
+  Status Delete(Transaction* txn, const std::string& relation,
+                const EntityAddr& addr);
+  Result<Tuple> Read(Transaction* txn, const std::string& relation,
+                     const EntityAddr& addr);
+  Result<std::vector<EntityAddr>> IndexLookup(Transaction* txn,
+                                              const std::string& index_name,
+                                              int64_t key);
+  Result<std::vector<node::Entry>> IndexRange(Transaction* txn,
+                                              const std::string& index_name,
+                                              int64_t lo, int64_t hi);
+  Result<std::vector<std::pair<EntityAddr, Tuple>>> Scan(
+      Transaction* txn, const std::string& relation);
+
+  // --- recovery control -------------------------------------------------------
+  /// Lets the recovery CPU sort up to `max_records` committed records.
+  Status PumpRecovery(uint64_t max_records = ~0ull);
+  /// Main CPU processes pending checkpoint requests (between
+  /// transactions).
+  Status RunCheckpoints();
+  /// Forces checkpoints of every partition of a relation and its indexes.
+  Status ForceCheckpointRelation(const std::string& relation);
+  /// Baseline sweep: checkpoint every partition in the database
+  /// (including catalog partitions).
+  Status CheckpointEverything();
+
+  /// Simulated crash: power loss / wild CPU. All volatile state is lost.
+  void Crash();
+  /// Post-crash restart: restores catalogs (and, under kFullReload,
+  /// everything) before returning. Under kOnDemand, data partitions are
+  /// restored lazily by DML or explicitly below.
+  Status Restart();
+  /// Predeclared recovery (paper §2.5 method 1): restore a relation and
+  /// its indexes in their entirety.
+  Status RecoverRelation(const std::string& relation);
+  /// Recovers one more partition (low-priority background recovery,
+  /// §2.5). Sets *done when nothing is left to recover.
+  Status BackgroundRecoveryStep(bool* done);
+  bool FullyResident();
+  bool IsRelationResident(const std::string& relation);
+
+  // --- media failure ----------------------------------------------------------
+  /// Simulates a checkpoint-disk media failure and recovers it from the
+  /// archive (paper §2.6). The memory copy is unaffected.
+  Status FailAndRecoverCheckpointDisk();
+
+  // --- introspection ----------------------------------------------------------
+  uint64_t now_ns() const { return clock_.now_ns(); }
+  double now_ms() const { return clock_.now_seconds() * 1e3; }
+  const sim::CpuModel& main_cpu() const { return main_cpu_; }
+  const sim::CpuModel& recovery_cpu() const { return recovery_cpu_; }
+  RecoveryManager& recovery_manager() { return *recovery_; }
+  StableLogBuffer& slb() { return *slb_; }
+  StableLogTail& slt() { return *slt_; }
+  LogDiskWriter& log_writer() { return *log_writer_; }
+  sim::Disk& checkpoint_disk() { return *checkpoint_disk_; }
+  sim::DuplexedDisk& log_disks() { return *log_disks_; }
+  ArchiveManager& archive() { return *archive_; }
+  AuditLog& audit_log() { return *audit_; }
+  Catalog& catalog();
+  PartitionManager& partitions();
+  LockManager& locks();
+  DatabaseStats GetStats() const;
+  const RestartReport& last_restart() const { return last_restart_; }
+
+ private:
+  friend class Checkpointer;
+  friend class RestartManager;
+  friend class TxnEntityStore;
+
+  /// Everything destroyed by Crash(): the primary memory copy of the
+  /// database plus all per-transaction volatile structures.
+  struct Volatile {
+    explicit Volatile(const DatabaseOptions& o)
+        : pm(o.partition_size_bytes),
+          disk_map(o.checkpoint_disk_slots,
+                   o.partition_size_bytes / o.log_page_bytes) {}
+
+    PartitionManager pm;
+    Catalog catalog;
+    DiskAllocationMap disk_map;
+    LockManager locks;
+    UndoSpace undo;
+    TransactionManager txns;
+    SegmentId catalog_segment = 0;
+    /// Catalog partitions' descriptors (kept here, mirrored in the stable
+    /// root block, never as catalog rows — avoids self-reference).
+    std::vector<PartitionDescriptor> catalog_partitions;
+    std::map<std::string, TTree> ttrees;
+    std::map<std::string, LinearHash> hashes;
+  };
+
+  // --- logged entity operations (the heart of regular logging, §2.3) ----------
+  Result<EntityAddr> InsertEntity(Transaction* txn, SegmentId segment,
+                                  std::span<const uint8_t> data);
+  Status UpdateEntity(Transaction* txn, const EntityAddr& addr,
+                      std::span<const uint8_t> data);
+  Status DeleteEntity(Transaction* txn, const EntityAddr& addr);
+  Result<std::vector<uint8_t>> ReadEntity(Transaction* txn,
+                                          const EntityAddr& addr);
+  Result<bool> EntityFitsUpdate(const EntityAddr& addr, size_t new_size);
+  Status NodeEntryOp(Transaction* txn, const EntityAddr& addr, LogOp op,
+                     const node::Entry& e);
+
+  Status AppendRedo(Transaction* txn, const LogRecord& redo,
+                    const LogRecord& undo);
+
+  /// Resident partition lookup with on-demand post-crash recovery.
+  Result<Partition*> ResidentPartition(PartitionId pid);
+
+  /// Creates a partition in `segment`: registers its SLT bin, persists
+  /// its descriptor row (or the catalog root for catalog partitions).
+  Result<Partition*> CreatePartitionInSegment(SegmentId segment);
+
+  Status PersistDescriptorRow(Transaction* txn, PartitionDescriptor* d);
+
+  /// Logs the deletion of an object's catalog rows and the freeing of
+  /// its checkpoint slots inside `txn`; the non-logged teardown (bins,
+  /// resident partitions) must happen after commit via
+  /// ReleaseSegmentStorage.
+  Status LogObjectDrop(Transaction* txn,
+                       const std::vector<PartitionDescriptor>& descriptors);
+  void ReleaseSegmentStorage(
+      const std::vector<PartitionDescriptor>& descriptors);
+  Status WriteCatalogRootBlock();
+  Status EnsureCatalogPartitionExists();
+
+  /// Rebuilds one partition from its checkpoint image + log chain.
+  Status RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
+                                  RestartReport* report);
+
+  Result<RelationInfo*> LookupRelation(Transaction* txn,
+                                       const std::string& name);
+  Status MaintainIndexesOnInsert(Transaction* txn, RelationInfo* rel,
+                                 const Tuple& tuple, const EntityAddr& addr);
+  Status MaintainIndexesOnDelete(Transaction* txn, RelationInfo* rel,
+                                 const Tuple& tuple, const EntityAddr& addr);
+
+  Result<TTree*> GetTTree(const std::string& name);
+  Result<LinearHash*> GetLinearHash(const std::string& name);
+
+  void MainWork(double instructions);
+
+  /// Commit-mode timing: models the log-force I/O a commit must wait for
+  /// under kDiskForce / kGroupCommit (the paper's baselines).
+  void ApplyCommitDurability(uint64_t redo_bytes);
+  void FlushCommitGroup();
+
+  DatabaseOptions opts_;
+  sim::SimClock clock_;
+  sim::CpuModel main_cpu_;
+  sim::CpuModel recovery_cpu_;
+
+  // Stable store: survives Crash().
+  std::unique_ptr<sim::StableMemoryMeter> meter_;
+  std::unique_ptr<StableLogBuffer> slb_;
+  std::unique_ptr<StableLogTail> slt_;
+  std::unique_ptr<sim::DuplexedDisk> log_disks_;
+  std::unique_ptr<sim::Disk> checkpoint_disk_;
+  std::unique_ptr<LogDiskWriter> log_writer_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<ArchiveManager> archive_;
+  std::unique_ptr<AuditLog> audit_;
+
+  // Volatile state: destroyed by Crash(), rebuilt by Restart().
+  std::unique_ptr<Volatile> v_;
+
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::unique_ptr<RestartManager> restarter_;
+
+  bool crashed_ = false;
+  bool in_maintenance_ = false;  // guards checkpoint/pump recursion
+  RestartReport last_restart_;
+
+  // stats not covered by components
+  uint64_t on_demand_recoveries_ = 0;
+  uint64_t background_recoveries_ = 0;
+  uint64_t checkpoints_completed_ = 0;
+
+  // Commit-mode baseline state (timing model; durability itself always
+  // comes from the stable SLB).
+  uint64_t wal_page_counter_ = 0;
+  uint64_t group_pending_bytes_ = 0;
+  std::vector<uint64_t> group_pending_since_ns_;
+  uint64_t log_forces_ = 0;
+  double commit_wait_ms_total_ = 0;
+  uint64_t commits_waited_ = 0;
+};
+
+/// EntityStore adapter binding a transaction to the database's logged
+/// entity operations (locking + REDO/UNDO). A null transaction gives
+/// unlogged read-only access (used to attach index metadata).
+class TxnEntityStore : public EntityStore {
+ public:
+  TxnEntityStore(Database* db, Transaction* txn) : db_(db), txn_(txn) {}
+
+  Result<EntityAddr> Insert(SegmentId segment,
+                            std::span<const uint8_t> data) override {
+    return db_->InsertEntity(txn_, segment, data);
+  }
+  Status Update(const EntityAddr& addr,
+                std::span<const uint8_t> data) override {
+    return db_->UpdateEntity(txn_, addr, data);
+  }
+  Status Delete(const EntityAddr& addr) override {
+    return db_->DeleteEntity(txn_, addr);
+  }
+  Result<std::vector<uint8_t>> Read(const EntityAddr& addr) override {
+    return db_->ReadEntity(txn_, addr);
+  }
+  Result<bool> FitsUpdate(const EntityAddr& addr, size_t new_size) override {
+    return db_->EntityFitsUpdate(addr, new_size);
+  }
+  Status NodeInsertEntry(const EntityAddr& addr,
+                         const node::Entry& e) override {
+    return db_->NodeEntryOp(txn_, addr, LogOp::kNodeInsertEntry, e);
+  }
+  Status NodeRemoveEntry(const EntityAddr& addr,
+                         const node::Entry& e) override {
+    return db_->NodeEntryOp(txn_, addr, LogOp::kNodeRemoveEntry, e);
+  }
+
+ private:
+  Database* db_;
+  Transaction* txn_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_DATABASE_H_

@@ -1,0 +1,98 @@
+#ifndef MMDB_INDEX_LINEAR_HASH_H_
+#define MMDB_INDEX_LINEAR_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/node_format.h"
+#include "storage/addr.h"
+#include "storage/entity_store.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// Modified Linear Hashing index (Lehman & Carey, VLDB '86), the paper's
+/// memory-resident hash index.
+///
+/// Buckets are chains of fixed-capacity hash nodes; nodes are entities in
+/// the index segment's partitions, so node modifications produce ordinary
+/// per-partition log records (small entry ops for insert/remove, full
+/// images for chain-pointer changes and splits). The bucket directory
+/// and split state (level, next pointer) live in a metadata entity at the
+/// well-known address (segment, partition 0, slot 0) — the whole index is
+/// recoverable from checkpoint images plus log records.
+///
+/// Split policy: classic linear hashing's split pointer, advanced
+/// whenever an insert lengthens a chain beyond `max_chain_nodes`. This is
+/// the "performance monitor" flavour of Modified Linear Hashing: splits
+/// are triggered by observed chain growth rather than a global load
+/// factor, so the split trigger needs no per-insert metadata updates.
+///
+/// Duplicate keys are supported; removal requires the exact (key, value)
+/// pair. Directory capacity is bounded by the entity size limit (64 KB),
+/// i.e. ~5000 buckets at 12 bytes per directory entry; beyond that,
+/// inserts keep extending overflow chains (documented limit).
+class LinearHash {
+ public:
+  static constexpr uint16_t kDefaultNodeCapacity = 8;
+  static constexpr uint32_t kDefaultMaxChainNodes = 2;
+
+  static Result<LinearHash> Create(EntityStore& store, SegmentId segment,
+                                   uint32_t initial_buckets = 8,
+                                   uint16_t node_capacity =
+                                       kDefaultNodeCapacity,
+                                   uint32_t max_chain_nodes =
+                                       kDefaultMaxChainNodes);
+
+  static Result<LinearHash> Attach(EntityStore& store, SegmentId segment);
+
+  SegmentId segment() const { return segment_; }
+  EntityAddr meta_addr() const { return meta_addr_; }
+
+  Status Insert(EntityStore& store, int64_t key, EntityAddr value);
+  Status Remove(EntityStore& store, int64_t key, EntityAddr value);
+  Result<std::vector<EntityAddr>> Lookup(EntityStore& store,
+                                         int64_t key) const;
+
+  /// Total entries (walks all chains).
+  Result<size_t> Size(EntityStore& store) const;
+
+  /// Verifies: every entry hashes to the bucket holding it; chain
+  /// structure well formed; node fill within capacity.
+  Status CheckInvariants(EntityStore& store) const;
+
+  /// Current bucket count (reads metadata).
+  Result<uint32_t> BucketCount(EntityStore& store) const;
+
+ private:
+  struct Meta {
+    uint32_t level = 0;
+    uint32_t next = 0;            // split pointer
+    uint32_t base_buckets = 8;    // N0
+    uint16_t node_capacity = kDefaultNodeCapacity;
+    uint32_t max_chain_nodes = kDefaultMaxChainNodes;
+    std::vector<EntityAddr> directory;  // bucket -> head node (may be null)
+
+    std::vector<uint8_t> Serialize() const;
+    static Result<Meta> Parse(std::span<const uint8_t> payload);
+    uint32_t BucketOf(uint64_t hash) const;
+  };
+
+  LinearHash(SegmentId segment, EntityAddr meta_addr)
+      : segment_(segment), meta_addr_(meta_addr) {}
+
+  Result<Meta> ReadMeta(EntityStore& store) const;
+  Status WriteMeta(EntityStore& store, const Meta& m) const;
+
+  /// Splits the bucket at the split pointer.
+  Status SplitOne(EntityStore& store, Meta* meta);
+
+  static uint64_t HashKey(int64_t key);
+
+  SegmentId segment_;
+  EntityAddr meta_addr_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_INDEX_LINEAR_HASH_H_

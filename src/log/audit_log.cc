@@ -1,0 +1,32 @@
+#include "log/audit_log.h"
+
+namespace mmdb {
+
+Status AuditLog::Append(AuditRecord record) {
+  size_t size = record.SerializedSize();
+  if (size > config_.buffer_bytes) {
+    return Status::InvalidArgument("audit record larger than buffer");
+  }
+  meter_->ChargeWrite(size);
+  while (buffered_bytes_ + size > config_.buffer_bytes && !window_.empty()) {
+    buffered_bytes_ -= window_.front().SerializedSize();
+    archived_.push_back(std::move(window_.front()));
+    window_.pop_front();
+  }
+  buffered_bytes_ += size;
+  window_.push_back(std::move(record));
+  ++appended_;
+  return Status::OK();
+}
+
+std::vector<AuditRecord> AuditLog::Recent(size_t max_records) const {
+  std::vector<AuditRecord> out;
+  size_t n = std::min(max_records, window_.size());
+  out.reserve(n);
+  for (size_t i = window_.size() - n; i < window_.size(); ++i) {
+    out.push_back(window_[i]);
+  }
+  return out;
+}
+
+}  // namespace mmdb

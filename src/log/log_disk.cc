@@ -1,0 +1,134 @@
+#include "log/log_disk.h"
+
+#include <algorithm>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace mmdb {
+
+Status ParseLogStream(std::span<const uint8_t> stream,
+                      std::vector<LogRecord>* records) {
+  wire::Reader r(stream);
+  while (r.remaining() > 0) {
+    auto rec = LogRecord::Parse(&r);
+    if (!rec.ok()) return rec.status();
+    records->push_back(std::move(rec).value());
+  }
+  return Status::OK();
+}
+
+uint32_t LogDiskWriter::PagePayloadCapacity(size_t dir_entries) const {
+  size_t overhead = kPageHeaderBytes + dir_entries * 8;
+  MMDB_CHECK(config_.page_bytes > overhead);
+  return static_cast<uint32_t>(config_.page_bytes - overhead);
+}
+
+std::vector<uint8_t> LogDiskWriter::BuildPage(
+    uint64_t lsn, PartitionId pid, uint64_t prev_lsn, uint64_t prev_anchor,
+    const std::vector<uint64_t>& dir,
+    std::span<const uint8_t> stream_bytes) const {
+  std::vector<uint8_t> out;
+  out.reserve(kPageHeaderBytes + dir.size() * 8 + stream_bytes.size());
+  wire::PutU64(&out, lsn);
+  wire::PutU64(&out, pid.Pack());
+  wire::PutU64(&out, prev_lsn);
+  wire::PutU64(&out, prev_anchor);
+  wire::PutU16(&out, static_cast<uint16_t>(dir.size()));
+  wire::PutU16(&out, 0);  // reserved
+  std::vector<uint8_t> body;
+  for (uint64_t d : dir) wire::PutU64(&body, d);
+  body.insert(body.end(), stream_bytes.begin(), stream_bytes.end());
+  wire::PutU32(&out, Crc32(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  MMDB_CHECK(out.size() <= config_.page_bytes);
+  return out;
+}
+
+Result<uint64_t> LogDiskWriter::FlushBinPage(PartitionBin* bin,
+                                             uint32_t dir_capacity,
+                                             uint64_t now_ns,
+                                             uint64_t* done_ns) {
+  if (bin->active_page.empty()) {
+    return Status::InvalidArgument("flush of empty active page");
+  }
+  uint64_t lsn = next_lsn_++;
+  std::vector<uint64_t> embedded;
+  uint64_t prev_anchor = bin->last_anchor_lsn;
+  if (bin->directory.size() >= dir_capacity) {
+    // This page becomes an anchor: it carries the directory of the pages
+    // written since the previous anchor (paper Fig. 4(b)).
+    embedded = bin->directory;
+    bin->directory.clear();
+    bin->last_anchor_lsn = lsn;
+  }
+  size_t cap = PagePayloadCapacity(embedded.size());
+  size_t take = std::min<size_t>(cap, bin->active_page.size());
+  std::vector<uint8_t> page = BuildPage(
+      lsn, bin->partition, bin->last_page_lsn, prev_anchor, embedded,
+      std::span<const uint8_t>(bin->active_page.data(), take));
+  *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  if (bin->first_page_lsn == kNoLsn) bin->first_page_lsn = lsn;
+  bin->last_page_lsn = lsn;
+  ++bin->pages_since_checkpoint;
+  bin->directory.push_back(lsn);
+  bin->active_page.erase(bin->active_page.begin(),
+                         bin->active_page.begin() + static_cast<long>(take));
+  bin->active_records = 0;
+  return lsn;
+}
+
+Result<uint64_t> LogDiskWriter::WriteArchivePage(
+    std::span<const uint8_t> stream_bytes, uint64_t now_ns,
+    uint64_t* done_ns) {
+  uint64_t lsn = next_lsn_++;
+  std::vector<uint8_t> page =
+      BuildPage(lsn, PartitionId::Unpack(kArchiveCombinedTag), kNoLsn, kNoLsn,
+                {}, stream_bytes);
+  *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  return lsn;
+}
+
+Status LogDiskWriter::ReadPage(uint64_t lsn, uint64_t now_ns,
+                               sim::SeekClass seek, ParsedLogPage* page,
+                               uint64_t* done_ns) {
+  std::vector<uint8_t> raw;
+  MMDB_RETURN_IF_ERROR(disks_->ReadPage(lsn, now_ns, seek, &raw, done_ns));
+  wire::Reader r(raw);
+  uint64_t got_lsn, part, prev, prev_anchor;
+  uint16_t n_dir, reserved;
+  uint32_t crc;
+  if (!r.GetU64(&got_lsn) || !r.GetU64(&part) || !r.GetU64(&prev) ||
+      !r.GetU64(&prev_anchor) || !r.GetU16(&n_dir) || !r.GetU16(&reserved) ||
+      !r.GetU32(&crc)) {
+    return Status::Corruption("truncated log page header");
+  }
+  if (got_lsn != lsn) {
+    // Paper §2.3.3: the identity attached to each page "serves as a
+    // consistency check during recovery so that the recovery manager can
+    // be assured of having the correct page".
+    return Status::Corruption("log page LSN mismatch");
+  }
+  size_t body_off = r.pos();
+  if (Crc32(raw.data() + body_off, raw.size() - body_off) != crc) {
+    return Status::Corruption("log page checksum mismatch");
+  }
+  page->lsn = got_lsn;
+  page->partition = PartitionId::Unpack(part);
+  page->prev_lsn = prev;
+  page->prev_anchor_lsn = prev_anchor;
+  page->directory.clear();
+  for (uint16_t i = 0; i < n_dir; ++i) {
+    uint64_t d;
+    if (!r.GetU64(&d)) return Status::Corruption("truncated page directory");
+    page->directory.push_back(d);
+  }
+  std::span<const uint8_t> payload;
+  if (!r.GetBytes(r.remaining(), &payload)) {
+    return Status::Corruption("truncated page payload");
+  }
+  page->payload.assign(payload.begin(), payload.end());
+  return Status::OK();
+}
+
+}  // namespace mmdb

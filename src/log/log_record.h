@@ -1,0 +1,77 @@
+#ifndef MMDB_LOG_LOG_RECORD_H_
+#define MMDB_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/addr.h"
+#include "storage/partition.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// REDO/UNDO operations on a single partition.
+///
+/// The paper (§2.3.2): "A log record corresponds to an entity in a
+/// partition: a relation tuple or an index structure component... Log
+/// records have different formats depending on the type of database
+/// entity... All log records have four main parts:
+/// TAG | Bin Index | Tran Id | Operation."
+///
+/// A given log record always affects exactly one partition (§2.5.1).
+enum class LogOp : uint8_t {
+  /// Insert an entity image at a specific slot.
+  kInsert = 1,
+  /// Delete the entity at a slot.
+  kDelete = 2,
+  /// Replace the entity at a slot with a full post-image (also used for
+  /// index structural changes: rotations, splits, pointer updates).
+  kUpdate = 3,
+  /// Insert one (key, addr) entry into the index node at a slot. This is
+  /// the common small index log record (~paper's 8-24 byte records).
+  kNodeInsertEntry = 4,
+  /// Remove one (key, addr) entry from the index node at a slot.
+  kNodeRemoveEntry = 5,
+};
+
+/// One REDO (or, in the volatile UNDO space, UNDO) log record.
+struct LogRecord {
+  LogOp op = LogOp::kInsert;
+  uint32_t bin_index = 0;  // direct index into the Stable Log Tail bin table
+  uint64_t txn_id = 0;
+  PartitionId partition;
+  uint32_t slot = 0;
+  // Payload for kInsert / kUpdate: the entity image.
+  std::vector<uint8_t> data;
+  // Payload for kNode*Entry: one index entry.
+  int64_t key = 0;
+  EntityAddr child;
+
+  /// Exact on-wire size in bytes (header + payload).
+  size_t SerializedSize() const;
+
+  void AppendTo(std::vector<uint8_t>* out) const;
+
+  /// Parses one record at the reader's cursor.
+  static Result<LogRecord> Parse(wire::Reader* r);
+
+  std::string ToString() const;
+};
+
+/// Applies a single REDO (or UNDO) record to its partition. Records are
+/// deterministic: applying the committed record sequence, in commit
+/// order, to a transaction-consistent checkpoint image reproduces the
+/// partition exactly.
+Status ApplyLogRecord(const LogRecord& rec, Partition* partition);
+
+/// Builds the UNDO (inverse) record for a REDO record given the
+/// pre-image state. `pre_image` is the entity's bytes before the change
+/// (required for kUpdate and kDelete; ignored otherwise).
+LogRecord MakeUndo(const LogRecord& redo, std::span<const uint8_t> pre_image);
+
+}  // namespace mmdb
+
+#endif  // MMDB_LOG_LOG_RECORD_H_

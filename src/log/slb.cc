@@ -1,0 +1,147 @@
+#include "log/slb.h"
+
+#include "util/logging.h"
+
+namespace mmdb {
+
+Status StableLogBuffer::AppendToChain(Chain* chain, const LogRecord& rec) {
+  size_t need = rec.SerializedSize();
+  bool need_block = chain->blocks.empty() ||
+                    chain->blocks.back().buf.size() -
+                            chain->blocks.back().used <
+                        need;
+  if (need_block) {
+    // A record larger than the block size gets a dedicated oversized
+    // block (rare: only very large entity images).
+    size_t block_size = std::max<size_t>(config_.block_bytes, need);
+    if (!meter_->CanAllocate(block_size)) {
+      return Status::Full("Stable Log Buffer budget exhausted");
+    }
+    meter_->Allocate(block_size);
+    meter_->NoteHighWater();
+    ++blocks_allocated_;
+    Block b;
+    b.buf.resize(block_size);
+    b.used = 0;
+    chain->blocks.push_back(std::move(b));
+  }
+  Block& b = chain->blocks.back();
+  std::vector<uint8_t> tmp;
+  rec.AppendTo(&tmp);
+  MMDB_CHECK(b.used + tmp.size() <= b.buf.size());
+  std::copy(tmp.begin(), tmp.end(), b.buf.begin() + b.used);
+  b.used += static_cast<uint32_t>(tmp.size());
+  ++chain->records;
+  ++records_appended_;
+  bytes_appended_ += tmp.size();
+  meter_->ChargeWrite(tmp.size());
+  return Status::OK();
+}
+
+void StableLogBuffer::ReleaseChain(Chain* chain) {
+  for (const Block& b : chain->blocks) meter_->Release(b.buf.size());
+  chain->blocks.clear();
+  chain->records = 0;
+}
+
+Status StableLogBuffer::Append(uint64_t txn_id, const LogRecord& rec) {
+  NoteTxnId(txn_id);
+  Chain& chain = uncommitted_[txn_id];
+  chain.txn_id = txn_id;
+  return AppendToChain(&chain, rec);
+}
+
+Status StableLogBuffer::Commit(uint64_t txn_id) {
+  auto it = uncommitted_.find(txn_id);
+  if (it == uncommitted_.end()) {
+    // Read-only transaction: nothing logged, commit is trivially done.
+    return Status::OK();
+  }
+  committed_.push_back(std::move(it->second));
+  uncommitted_.erase(it);
+  return Status::OK();
+}
+
+Status StableLogBuffer::Discard(uint64_t txn_id) {
+  auto it = uncommitted_.find(txn_id);
+  if (it == uncommitted_.end()) return Status::OK();
+  ReleaseChain(&it->second);
+  uncommitted_.erase(it);
+  return Status::OK();
+}
+
+bool StableLogBuffer::HasCommittedRecords() const {
+  for (const Chain& c : committed_) {
+    if (c.records > 0) return true;
+  }
+  return false;
+}
+
+Result<LogRecord> StableLogBuffer::PopCommitted() {
+  while (!committed_.empty()) {
+    Chain& chain = committed_.front();
+    if (chain.blocks.empty() || chain.records == 0) {
+      ReleaseChain(&chain);
+      committed_.pop_front();
+      read_offset_ = 0;
+      continue;
+    }
+    Block& b = chain.blocks.front();
+    if (read_offset_ >= b.used) {
+      meter_->Release(b.buf.size());
+      chain.blocks.pop_front();
+      read_offset_ = 0;
+      continue;
+    }
+    wire::Reader r(std::span<const uint8_t>(b.buf.data() + read_offset_,
+                                            b.used - read_offset_));
+    auto rec = LogRecord::Parse(&r);
+    if (!rec.ok()) return rec.status();
+    meter_->ChargeRead(r.pos());
+    read_offset_ += r.pos();
+    --chain.records;
+    if (chain.records == 0 && read_offset_ >= b.used) {
+      ReleaseChain(&chain);
+      committed_.pop_front();
+      read_offset_ = 0;
+    }
+    return rec;
+  }
+  return Status::NotFound("no committed records");
+}
+
+bool StableLogBuffer::RequestCheckpoint(PartitionId pid,
+                                        CheckpointTrigger trigger) {
+  for (const CheckpointRequest& r : requests_) {
+    if (r.partition == pid && r.state != CheckpointState::kFinished) {
+      return false;
+    }
+  }
+  requests_.push_back(CheckpointRequest{pid, CheckpointState::kRequest,
+                                        trigger});
+  return true;
+}
+
+void StableLogBuffer::ClearFinished(PartitionId pid) {
+  requests_.remove_if([&](const CheckpointRequest& r) {
+    return r.partition == pid && r.state == CheckpointState::kFinished;
+  });
+}
+
+void StableLogBuffer::SetCatalogRoot(std::vector<uint8_t> root) {
+  catalog_root_ = std::move(root);
+}
+
+void StableLogBuffer::OnCrash() {
+  for (auto& [_, chain] : uncommitted_) ReleaseChain(&chain);
+  uncommitted_.clear();
+  requests_.clear();
+}
+
+uint64_t StableLogBuffer::committed_backlog_records() const {
+  uint64_t n = 0;
+  for (const Chain& c : committed_) n += c.records;
+  return n;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,167 @@
+#ifndef MMDB_LOG_SLB_H_
+#define MMDB_LOG_SLB_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "log/log_record.h"
+#include "sim/stable_memory.h"
+#include "storage/addr.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// State of a partition checkpoint request in the SLB communication
+/// buffer (paper §2.4: request -> in-progress -> finished).
+enum class CheckpointState : uint8_t {
+  kRequest = 0,
+  kInProgress = 1,
+  kFinished = 2,
+};
+
+/// Why a checkpoint was triggered (paper §2.3.3: update count vs age).
+enum class CheckpointTrigger : uint8_t {
+  kUpdateCount = 0,
+  kAge = 1,
+  kForced = 2,  // explicit/administrative (baseline full-database sweeps)
+};
+
+struct CheckpointRequest {
+  PartitionId partition;
+  CheckpointState state = CheckpointState::kRequest;
+  CheckpointTrigger trigger = CheckpointTrigger::kUpdateCount;
+};
+
+/// The Stable Log Buffer (paper §2.2, §2.3.1).
+///
+/// A region of stable, reliable memory shared by the main CPU and the
+/// recovery CPU. Transactions write REDO log records here so they can
+/// commit instantly, without waiting for any disk I/O. It is managed as a
+/// set of fixed-size blocks allocated to transactions on demand; each
+/// block is dedicated to a single transaction for its lifetime, so
+/// critical sections are needed only for block allocation and the
+/// traditional log-tail hot spot disappears (§2.3.1).
+///
+/// Block chains live on one of two lists: the *uncommitted* list (still
+/// running; discarded by a crash) or the *committed* list, kept in commit
+/// order so the recovery CPU's sort process can consume records in the
+/// order transactions committed.
+///
+/// The SLB also hosts the communication buffer between the two CPUs (the
+/// checkpoint request queue) and one of the two stable copies of the
+/// catalog root block (§2.5).
+///
+/// The object survives Database::Crash() by ownership: it lives in the
+/// crash-surviving StableStore. `OnCrash()` applies the crash semantics
+/// that *do* lose state: uncommitted chains are discarded (their
+/// transactions never committed) and in-flight checkpoint requests are
+/// dropped (their partitions' bins still hold all log information).
+class StableLogBuffer {
+ public:
+  struct Config {
+    uint32_t block_bytes = 2048;
+    /// Stable-memory budget for SLB blocks.
+    uint64_t capacity_bytes = 2 * 1024 * 1024;
+  };
+
+  StableLogBuffer(Config config, sim::StableMemoryMeter* meter)
+      : config_(config), meter_(meter) {}
+
+  StableLogBuffer(const StableLogBuffer&) = delete;
+  StableLogBuffer& operator=(const StableLogBuffer&) = delete;
+
+  const Config& config() const { return config_; }
+
+  // --- transaction-side (main CPU) ----------------------------------------
+
+  /// Appends a REDO record to `txn_id`'s private chain, allocating blocks
+  /// on demand. Returns Full if the stable-memory budget is exhausted
+  /// (the caller should pump the recovery CPU's sort process and retry).
+  Status Append(uint64_t txn_id, const LogRecord& rec);
+
+  /// Moves the transaction's chain to the tail of the committed list.
+  /// Commit is instantaneous: records are already in stable memory.
+  Status Commit(uint64_t txn_id);
+
+  /// Discards the transaction's chain (abort).
+  Status Discard(uint64_t txn_id);
+
+  // --- sort-side (recovery CPU) -------------------------------------------
+
+  bool HasCommittedRecords() const;
+
+  /// Pops the next committed record, in commit order. Frees fully
+  /// consumed blocks back to the stable-memory budget.
+  Result<LogRecord> PopCommitted();
+
+  // --- communication buffer ------------------------------------------------
+
+  /// Enqueues a checkpoint request unless one is already pending for the
+  /// partition. Returns true if enqueued.
+  bool RequestCheckpoint(PartitionId pid, CheckpointTrigger trigger);
+
+  std::list<CheckpointRequest>& checkpoint_requests() { return requests_; }
+
+  /// Removes finished requests for `pid`.
+  void ClearFinished(PartitionId pid);
+
+  // --- catalog root block (one of two stable copies) -----------------------
+
+  void SetCatalogRoot(std::vector<uint8_t> root);
+  const std::vector<uint8_t>& catalog_root() const { return catalog_root_; }
+
+  /// High-water transaction id, persisted so restart never reuses ids.
+  void NoteTxnId(uint64_t id) {
+    if (id > max_txn_id_) max_txn_id_ = id;
+  }
+  uint64_t max_txn_id() const { return max_txn_id_; }
+
+  // --- crash ---------------------------------------------------------------
+
+  /// Applies crash semantics (see class comment). Stable contents —
+  /// committed chains, the catalog root, the txn-id high-water mark —
+  /// survive.
+  void OnCrash();
+
+  // --- statistics -----------------------------------------------------------
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t blocks_allocated() const { return blocks_allocated_; }
+  uint64_t committed_backlog_records() const;
+
+ private:
+  struct Block {
+    std::vector<uint8_t> buf;
+    uint32_t used = 0;
+  };
+  struct Chain {
+    uint64_t txn_id = 0;
+    std::deque<Block> blocks;
+    uint64_t records = 0;
+  };
+
+  Status AppendToChain(Chain* chain, const LogRecord& rec);
+  void ReleaseChain(Chain* chain);
+
+  Config config_;
+  sim::StableMemoryMeter* meter_;
+  std::unordered_map<uint64_t, Chain> uncommitted_;
+  std::deque<Chain> committed_;  // commit order
+  size_t read_offset_ = 0;       // cursor into committed_.front()'s block 0
+
+  std::list<CheckpointRequest> requests_;
+  std::vector<uint8_t> catalog_root_;
+  uint64_t max_txn_id_ = 0;
+
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t blocks_allocated_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_LOG_SLB_H_

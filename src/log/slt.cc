@@ -1,0 +1,109 @@
+#include "log/slt.h"
+
+#include "util/logging.h"
+
+namespace mmdb {
+
+Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
+  uint32_t idx;
+  if (!free_bins_.empty()) {
+    idx = free_bins_.back();
+    free_bins_.pop_back();
+  } else {
+    if (!meter_->CanAllocate(config_.info_block_bytes)) {
+      return Status::Full("Stable Log Tail cannot fit another info block");
+    }
+    meter_->Allocate(config_.info_block_bytes);
+    meter_->NoteHighWater();
+    idx = static_cast<uint32_t>(bins_.size());
+    bins_.emplace_back();
+  }
+  PartitionBin& b = bins_[idx];
+  b = PartitionBin{};
+  b.in_use = true;
+  b.partition = pid;
+  return idx;
+}
+
+Status StableLogTail::ReleaseBin(uint32_t bin_index) {
+  auto b = bin(bin_index);
+  if (!b.ok()) return b.status();
+  if (!b.value()->active_page.empty() || b.value()->active_records > 0) {
+    meter_->Release(config_.page_bytes);
+  }
+  *b.value() = PartitionBin{};
+  free_bins_.push_back(bin_index);
+  return Status::OK();
+}
+
+Result<PartitionBin*> StableLogTail::bin(uint32_t bin_index) {
+  if (bin_index >= bins_.size() || !bins_[bin_index].in_use) {
+    return Status::NotFound("no bin " + std::to_string(bin_index));
+  }
+  return &bins_[bin_index];
+}
+
+Result<const PartitionBin*> StableLogTail::bin(uint32_t bin_index) const {
+  if (bin_index >= bins_.size() || !bins_[bin_index].in_use) {
+    return Status::NotFound("no bin " + std::to_string(bin_index));
+  }
+  return &bins_[bin_index];
+}
+
+Result<uint32_t> StableLogTail::FindBin(PartitionId pid) const {
+  for (uint32_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].in_use && bins_[i].partition == pid) return i;
+  }
+  return Status::NotFound("no bin for partition " + pid.ToString());
+}
+
+Status StableLogTail::AppendToActivePage(
+    uint32_t bin_index, std::span<const uint8_t> record_bytes) {
+  auto b = bin(bin_index);
+  if (!b.ok()) return b.status();
+  PartitionBin* pb = b.value();
+  if (pb->active_page.empty() && pb->active_records == 0) {
+    if (!meter_->CanAllocate(config_.page_bytes)) {
+      return Status::Full("Stable Log Tail page budget exhausted");
+    }
+    meter_->Allocate(config_.page_bytes);
+    meter_->NoteHighWater();
+  }
+  pb->active_page.insert(pb->active_page.end(), record_bytes.begin(),
+                         record_bytes.end());
+  ++pb->active_records;
+  meter_->ChargeWrite(record_bytes.size());
+  return Status::OK();
+}
+
+Status StableLogTail::ResetAfterCheckpoint(uint32_t bin_index) {
+  auto b = bin(bin_index);
+  if (!b.ok()) return b.status();
+  PartitionBin* pb = b.value();
+  if (!pb->active_page.empty() || pb->active_records > 0) {
+    meter_->Release(config_.page_bytes);
+  }
+  pb->update_count = 0;
+  pb->first_page_lsn = kNoLsn;
+  pb->last_page_lsn = kNoLsn;
+  pb->last_anchor_lsn = kNoLsn;
+  pb->pages_since_checkpoint = 0;
+  pb->directory.clear();
+  pb->active_page.clear();
+  pb->active_records = 0;
+  pb->checkpoint_requested = false;
+  return Status::OK();
+}
+
+std::vector<uint32_t> StableLogTail::ActiveBins() const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < bins_.size(); ++i) {
+    const PartitionBin& b = bins_[i];
+    if (b.in_use && (b.has_disk_pages() || b.active_records > 0)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmdb

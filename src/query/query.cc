@@ -1,0 +1,300 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mmdb::query {
+
+namespace {
+
+bool CompareInt(int64_t a, CompareOp op, int64_t b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+bool CompareString(const std::string& a, CompareOp op, const std::string& b) {
+  switch (op) {
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> EvalPredicate(const Schema& schema, const Tuple& tuple,
+                           const Predicate& p) {
+  int col = schema.FindColumn(p.column);
+  if (col < 0) return Status::InvalidArgument("no column " + p.column);
+  const Value& v = tuple[static_cast<size_t>(col)];
+  if (schema.columns()[col].type == ColumnType::kInt64) {
+    if (!std::holds_alternative<int64_t>(p.value)) {
+      return Status::InvalidArgument("predicate type mismatch on " + p.column);
+    }
+    return CompareInt(std::get<int64_t>(v), p.op, std::get<int64_t>(p.value));
+  }
+  if (!std::holds_alternative<std::string>(p.value)) {
+    return Status::InvalidArgument("predicate type mismatch on " + p.column);
+  }
+  return CompareString(std::get<std::string>(v), p.op,
+                       std::get<std::string>(p.value));
+}
+
+Result<QueryEngine::AccessPath> QueryEngine::ChoosePath(
+    const std::string& relation, const std::vector<Predicate>& predicates) {
+  AccessPath path;
+  auto rel = db_->catalog().GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = db_->catalog().GetIndex(iname);
+    if (!idx.ok()) continue;
+    const std::string& col =
+        rel.value()->schema.columns()[idx.value()->column].name;
+    // Gather int64 bounds this index could serve.
+    bool eq = false;
+    int64_t eq_key = 0;
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();
+    bool bounded = false;
+    for (const Predicate& p : predicates) {
+      if (p.column != col || !std::holds_alternative<int64_t>(p.value)) {
+        continue;
+      }
+      int64_t k = std::get<int64_t>(p.value);
+      switch (p.op) {
+        case CompareOp::kEq: eq = true; eq_key = k; break;
+        case CompareOp::kLt:
+          if (k == std::numeric_limits<int64_t>::min()) return path;
+          hi = std::min(hi, k - 1);
+          bounded = true;
+          break;
+        case CompareOp::kLe: hi = std::min(hi, k); bounded = true; break;
+        case CompareOp::kGt:
+          if (k == std::numeric_limits<int64_t>::max()) return path;
+          lo = std::max(lo, k + 1);
+          bounded = true;
+          break;
+        case CompareOp::kGe: lo = std::max(lo, k); bounded = true; break;
+        case CompareOp::kNe: break;
+      }
+    }
+    if (eq) {
+      // Equality: any index type works; prefer hash for point lookups.
+      path.use_index = true;
+      path.index_name = iname;
+      path.type = idx.value()->type;
+      path.lo = path.hi = eq_key;
+      if (idx.value()->type == IndexType::kLinearHash) return path;
+      // Keep looking for a hash index; a T-Tree stays as fallback.
+      continue;
+    }
+    if (bounded && idx.value()->type == IndexType::kTTree &&
+        !path.use_index) {
+      path.use_index = true;
+      path.index_name = iname;
+      path.type = IndexType::kTTree;
+      path.lo = lo;
+      path.hi = hi;
+    }
+  }
+  return path;
+}
+
+Result<SelectResult> QueryEngine::Select(
+    Transaction* txn, const std::string& relation,
+    const std::vector<Predicate>& predicates) {
+  auto rel = db_->catalog().GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  const Schema& schema = rel.value()->schema;
+  // Validate predicates up front.
+  for (const Predicate& p : predicates) {
+    if (schema.FindColumn(p.column) < 0) {
+      return Status::InvalidArgument("no column " + p.column);
+    }
+  }
+  auto path = ChoosePath(relation, predicates);
+  if (!path.ok()) return path.status();
+
+  SelectResult out;
+  std::vector<std::pair<EntityAddr, Tuple>> candidates;
+  if (path.value().use_index) {
+    out.used_index = true;
+    out.index_name = path.value().index_name;
+    std::vector<EntityAddr> addrs;
+    if (path.value().type == IndexType::kLinearHash) {
+      auto hits = db_->IndexLookup(txn, path.value().index_name,
+                                   path.value().lo);
+      if (!hits.ok()) return hits.status();
+      addrs = std::move(hits).value();
+    } else {
+      auto entries = db_->IndexRange(txn, path.value().index_name,
+                                     path.value().lo, path.value().hi);
+      if (!entries.ok()) return entries.status();
+      for (const node::Entry& e : entries.value()) addrs.push_back(e.value);
+    }
+    for (const EntityAddr& a : addrs) {
+      auto tuple = db_->Read(txn, relation, a);
+      if (!tuple.ok()) return tuple.status();
+      candidates.emplace_back(a, std::move(tuple).value());
+    }
+  } else {
+    auto rows = db_->Scan(txn, relation);
+    if (!rows.ok()) return rows.status();
+    candidates = std::move(rows).value();
+  }
+
+  for (auto& [addr, tuple] : candidates) {
+    bool keep = true;
+    for (const Predicate& p : predicates) {
+      auto ok = EvalPredicate(schema, tuple, p);
+      if (!ok.ok()) return ok.status();
+      if (!ok.value()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.rows.emplace_back(addr, std::move(tuple));
+  }
+  return out;
+}
+
+Result<int64_t> QueryEngine::Count(Transaction* txn,
+                                   const std::string& relation,
+                                   const std::vector<Predicate>& predicates) {
+  auto sel = Select(txn, relation, predicates);
+  if (!sel.ok()) return sel.status();
+  return static_cast<int64_t>(sel.value().rows.size());
+}
+
+Result<int64_t> QueryEngine::Sum(Transaction* txn,
+                                 const std::string& relation,
+                                 const std::string& column,
+                                 const std::vector<Predicate>& predicates) {
+  auto rel = db_->catalog().GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  int col = rel.value()->schema.FindColumn(column);
+  if (col < 0) return Status::InvalidArgument("no column " + column);
+  if (rel.value()->schema.columns()[col].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("SUM requires an int64 column");
+  }
+  auto sel = Select(txn, relation, predicates);
+  if (!sel.ok()) return sel.status();
+  int64_t sum = 0;
+  for (const auto& [_, tuple] : sel.value().rows) {
+    sum += std::get<int64_t>(tuple[static_cast<size_t>(col)]);
+  }
+  return sum;
+}
+
+Result<std::optional<int64_t>> QueryEngine::Min(
+    Transaction* txn, const std::string& relation, const std::string& column,
+    const std::vector<Predicate>& predicates) {
+  auto rel = db_->catalog().GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  int col = rel.value()->schema.FindColumn(column);
+  if (col < 0) return Status::InvalidArgument("no column " + column);
+  if (rel.value()->schema.columns()[col].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("MIN requires an int64 column");
+  }
+  auto sel = Select(txn, relation, predicates);
+  if (!sel.ok()) return sel.status();
+  std::optional<int64_t> best;
+  for (const auto& [_, tuple] : sel.value().rows) {
+    int64_t v = std::get<int64_t>(tuple[static_cast<size_t>(col)]);
+    if (!best || v < *best) best = v;
+  }
+  return best;
+}
+
+Result<std::optional<int64_t>> QueryEngine::Max(
+    Transaction* txn, const std::string& relation, const std::string& column,
+    const std::vector<Predicate>& predicates) {
+  auto rel = db_->catalog().GetRelation(relation);
+  if (!rel.ok()) return rel.status();
+  int col = rel.value()->schema.FindColumn(column);
+  if (col < 0) return Status::InvalidArgument("no column " + column);
+  if (rel.value()->schema.columns()[col].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("MAX requires an int64 column");
+  }
+  auto sel = Select(txn, relation, predicates);
+  if (!sel.ok()) return sel.status();
+  std::optional<int64_t> best;
+  for (const auto& [_, tuple] : sel.value().rows) {
+    int64_t v = std::get<int64_t>(tuple[static_cast<size_t>(col)]);
+    if (!best || v > *best) best = v;
+  }
+  return best;
+}
+
+Result<std::vector<JoinRow>> QueryEngine::EquiJoin(
+    Transaction* txn, const std::string& left_relation,
+    const std::string& left_column, const std::string& right_relation,
+    const std::string& right_column) {
+  auto left_rel = db_->catalog().GetRelation(left_relation);
+  if (!left_rel.ok()) return left_rel.status();
+  auto right_rel = db_->catalog().GetRelation(right_relation);
+  if (!right_rel.ok()) return right_rel.status();
+  int lcol = left_rel.value()->schema.FindColumn(left_column);
+  int rcol = right_rel.value()->schema.FindColumn(right_column);
+  if (lcol < 0 || rcol < 0) return Status::InvalidArgument("no such column");
+  if (left_rel.value()->schema.columns()[lcol].type != ColumnType::kInt64 ||
+      right_rel.value()->schema.columns()[rcol].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("equi-join requires int64 columns");
+  }
+
+  // Find an index on the right column.
+  std::string right_index;
+  for (const std::string& iname : right_rel.value()->index_names) {
+    auto idx = db_->catalog().GetIndex(iname);
+    if (idx.ok() && idx.value()->column == static_cast<uint32_t>(rcol)) {
+      right_index = iname;
+      break;
+    }
+  }
+
+  auto left_rows = db_->Scan(txn, left_relation);
+  if (!left_rows.ok()) return left_rows.status();
+  std::vector<JoinRow> out;
+
+  if (!right_index.empty()) {
+    // Index nested-loop join.
+    for (auto& [laddr, ltuple] : left_rows.value()) {
+      int64_t key = std::get<int64_t>(ltuple[static_cast<size_t>(lcol)]);
+      auto hits = db_->IndexLookup(txn, right_index, key);
+      if (!hits.ok()) return hits.status();
+      for (const EntityAddr& raddr : hits.value()) {
+        auto rtuple = db_->Read(txn, right_relation, raddr);
+        if (!rtuple.ok()) return rtuple.status();
+        out.push_back(JoinRow{laddr, ltuple, raddr,
+                              std::move(rtuple).value()});
+      }
+    }
+    return out;
+  }
+
+  // Nested scan join.
+  auto right_rows = db_->Scan(txn, right_relation);
+  if (!right_rows.ok()) return right_rows.status();
+  for (auto& [laddr, ltuple] : left_rows.value()) {
+    int64_t key = std::get<int64_t>(ltuple[static_cast<size_t>(lcol)]);
+    for (auto& [raddr, rtuple] : right_rows.value()) {
+      if (std::get<int64_t>(rtuple[static_cast<size_t>(rcol)]) == key) {
+        out.push_back(JoinRow{laddr, ltuple, raddr, rtuple});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mmdb::query

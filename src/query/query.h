@@ -1,0 +1,105 @@
+#ifndef MMDB_QUERY_QUERY_H_
+#define MMDB_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace mmdb::query {
+
+/// Comparison operators for predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A simple column-vs-constant predicate.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+};
+
+/// Result of a Select, with a note on the chosen access path.
+struct SelectResult {
+  std::vector<std::pair<EntityAddr, Tuple>> rows;
+  bool used_index = false;
+  std::string index_name;
+};
+
+/// One row of an equi-join result.
+struct JoinRow {
+  EntityAddr left_addr;
+  Tuple left;
+  EntityAddr right_addr;
+  Tuple right;
+};
+
+/// Memory-resident query processing over the Database's public API,
+/// in the spirit of the paper's companion work (Lehman & Carey, SIGMOD
+/// '86: query processing in main-memory database systems).
+///
+/// Access-path selection: an equality predicate on an indexed int64
+/// column uses its hash index (or T-Tree); a range predicate on a
+/// T-Tree-indexed column uses a bounded index range scan; everything
+/// else is a relation scan. All predicates are re-applied as residual
+/// filters, so the chosen path never changes the answer.
+class QueryEngine {
+ public:
+  explicit QueryEngine(Database* db) : db_(db) {}
+
+  /// Rows of `relation` matching every predicate (conjunction).
+  Result<SelectResult> Select(Transaction* txn, const std::string& relation,
+                              const std::vector<Predicate>& predicates);
+
+  /// COUNT(*) with predicates.
+  Result<int64_t> Count(Transaction* txn, const std::string& relation,
+                        const std::vector<Predicate>& predicates);
+
+  /// SUM(column) over matching rows (int64 columns only).
+  Result<int64_t> Sum(Transaction* txn, const std::string& relation,
+                      const std::string& column,
+                      const std::vector<Predicate>& predicates);
+
+  /// MIN/MAX(column) over matching rows; nullopt when no row matches.
+  Result<std::optional<int64_t>> Min(Transaction* txn,
+                                     const std::string& relation,
+                                     const std::string& column,
+                                     const std::vector<Predicate>& predicates);
+  Result<std::optional<int64_t>> Max(Transaction* txn,
+                                     const std::string& relation,
+                                     const std::string& column,
+                                     const std::vector<Predicate>& predicates);
+
+  /// Equi-join left.left_column == right.right_column. Uses an index
+  /// nested-loop join when the right column is indexed; falls back to a
+  /// nested scan otherwise.
+  Result<std::vector<JoinRow>> EquiJoin(Transaction* txn,
+                                        const std::string& left_relation,
+                                        const std::string& left_column,
+                                        const std::string& right_relation,
+                                        const std::string& right_column);
+
+ private:
+  /// Picks an index and key bounds serving `predicates`, if any.
+  struct AccessPath {
+    bool use_index = false;
+    std::string index_name;
+    IndexType type = IndexType::kTTree;
+    int64_t lo = 0;
+    int64_t hi = 0;  // inclusive bounds for T-Tree; lo==hi for hash
+  };
+  Result<AccessPath> ChoosePath(const std::string& relation,
+                                const std::vector<Predicate>& predicates);
+
+  Database* db_;
+};
+
+/// Evaluates one predicate against a tuple. Fails on unknown column or
+/// type mismatch.
+Result<bool> EvalPredicate(const Schema& schema, const Tuple& tuple,
+                           const Predicate& p);
+
+}  // namespace mmdb::query
+
+#endif  // MMDB_QUERY_QUERY_H_

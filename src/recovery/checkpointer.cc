@@ -1,0 +1,199 @@
+#include "recovery/checkpointer.h"
+
+#include <set>
+
+#include "core/database.h"
+#include "util/logging.h"
+
+namespace mmdb {
+
+Status Checkpointer::Poll() {
+  Database& db = *db_;
+  // Process one request at a time, rescanning the queue after each: RunOne
+  // mutates the queue (finished entries are removed).
+  for (int guard = 0; guard < 1 << 20; ++guard) {
+    CheckpointRequest* next = nullptr;
+    for (CheckpointRequest& r : db.slb_->checkpoint_requests()) {
+      if (r.state == CheckpointState::kRequest) {
+        next = &r;
+        break;
+      }
+    }
+    if (next == nullptr) return Status::OK();
+    Status st = RunOne(next);
+    if (st.IsBusy() || st.IsNotResident()) {
+      // Cannot run now (lock conflict / partition not in memory): leave
+      // queued and stop; the next Poll retries.
+      return Status::OK();
+    }
+    MMDB_RETURN_IF_ERROR(st);
+  }
+  return Status::Corruption("checkpoint queue did not drain");
+}
+
+Status Checkpointer::RunOne(CheckpointRequest* req) {
+  Database& db = *db_;
+  PartitionId pid = req->partition;
+  bool is_catalog = pid.segment == db.v_->catalog_segment;
+
+  // Locate the partition's descriptor.
+  PartitionDescriptor* d = nullptr;
+  RelationInfo* rel = nullptr;
+  if (is_catalog) {
+    for (PartitionDescriptor& cd : db.v_->catalog_partitions) {
+      if (cd.id == pid) d = &cd;
+    }
+  } else {
+    auto dr = db.v_->catalog.FindDescriptor(pid);
+    if (dr.ok()) d = dr.value();
+    auto relr = db.v_->catalog.RelationOfSegment(pid.segment);
+    if (relr.ok()) rel = relr.value();
+  }
+  if (d == nullptr) {
+    // The partition was dropped since the request: nothing to do.
+    req->state = CheckpointState::kFinished;
+    db.slb_->ClearFinished(pid);
+    return Status::OK();
+  }
+
+  auto pr = db.v_->pm.Get(pid);
+  if (!pr.ok()) return pr.status();  // kNotResident: retry later
+  Partition* p = pr.value();
+
+  auto txn_r = db.Begin(TxnKind::kCheckpoint);
+  if (!txn_r.ok()) return txn_r.status();
+  Transaction* txn = txn_r.value();
+
+  // Step 3: a single read lock on the relation gives a transaction-
+  // consistent image.
+  if (rel != nullptr) {
+    Status lk = db.v_->locks.Acquire(
+        txn->id(), LockResource::Relation(rel->id), LockMode::kS);
+    db.MainWork(db.opts_.lock_instructions);
+    if (!lk.ok()) {
+      Status ab = db.Abort(txn);
+      (void)ab;
+      return lk;  // Busy: retry on a later Poll
+    }
+  }
+  req->state = CheckpointState::kInProgress;
+
+  // Let the sort process catch up so the bin cut matches the image: every
+  // record of transactions committed before the lock is in the bin.
+  MMDB_RETURN_IF_ERROR(db.recovery_->Drain(db.clock_.now_ns()));
+
+  // Step 4: copy the partition at memory speed, then release the lock.
+  std::vector<uint8_t> image = p->image();
+  uint32_t bin_index = p->bin_index();
+  db.MainWork(db.opts_.costs.i_copy_fixed +
+              db.opts_.costs.i_copy_add * static_cast<double>(image.size()));
+  db.v_->locks.ReleaseAll(txn->id());
+
+  // Locate a free checkpoint-disk slot (pseudo-circular queue).
+  auto slot_r = db.v_->disk_map.Allocate(pid.Pack());
+  if (!slot_r.ok()) {
+    Status ab = db.Abort(txn);
+    (void)ab;
+    req->state = CheckpointState::kRequest;
+    return slot_r.status();
+  }
+  uint64_t slot = slot_r.value();
+  uint64_t first_page = db.v_->disk_map.SlotFirstPage(slot);
+  uint64_t old_page = d->checkpoint_page;
+  uint64_t old_slot = d->checkpoint_slot;
+  bool had_old = d->has_checkpoint();
+
+  // Install the new location in memory; free the old slot (new copies
+  // never overwrite old ones — the old image stays untouched on disk).
+  d->checkpoint_page = first_page;
+  d->checkpoint_slot = slot;
+  if (had_old) MMDB_CHECK(db.v_->disk_map.Free(old_slot).ok());
+
+  // Step 5: log the catalog-entry and disk-allocation-map updates before
+  // the partition is written. Catalog partitions keep their locations in
+  // the stable root block instead (duplicated in stable memory).
+  Status st = Status::OK();
+  if (!is_catalog) {
+    st = db.PersistDescriptorRow(txn, d);
+  }
+  if (st.ok()) {
+    std::set<uint32_t> chunks{DiskAllocationMap::ChunkOf(slot)};
+    if (had_old) chunks.insert(DiskAllocationMap::ChunkOf(old_slot));
+    auto& addrs = db.v_->disk_map.chunk_row_addrs;
+    for (uint32_t chunk : chunks) {
+      if (addrs.size() <= chunk) addrs.resize(chunk + 1);
+      std::vector<uint8_t> row =
+          Catalog::SerializeDiskMapRow(db.v_->disk_map, chunk);
+      if (addrs[chunk].IsNull()) {
+        auto a = db.InsertEntity(txn, db.v_->catalog_segment, row);
+        if (!a.ok()) {
+          st = a.status();
+          break;
+        }
+        addrs[chunk] = a.value();
+      } else {
+        st = db.UpdateEntity(txn, addrs[chunk], row);
+        if (!st.ok()) break;
+      }
+    }
+  }
+  if (!st.ok()) {
+    // Roll back the in-memory install; the row updates are undone by the
+    // transaction abort.
+    d->checkpoint_page = old_page;
+    d->checkpoint_slot = old_slot;
+    MMDB_CHECK(db.v_->disk_map.Free(slot).ok());
+    if (had_old) MMDB_CHECK(db.v_->disk_map.Reclaim(old_slot, pid.Pack()).ok());
+    Status ab = db.Abort(txn);
+    (void)ab;
+    req->state = CheckpointState::kRequest;
+    return st;
+  }
+
+  // Step 6: write the partition image as a whole track and commit.
+  uint32_t page_bytes = db.opts_.log_page_bytes;
+  std::vector<std::vector<uint8_t>> pages;
+  for (size_t off = 0; off < image.size(); off += page_bytes) {
+    size_t n = std::min<size_t>(page_bytes, image.size() - off);
+    pages.emplace_back(image.begin() + static_cast<long>(off),
+                       image.begin() + static_cast<long>(off + n));
+  }
+  uint64_t done = db.checkpoint_disk_->WriteTrack(
+      first_page, pages, db.clock_.now_ns(), sim::SeekClass::kNear);
+  db.clock_.AdvanceTo(done);
+  db.main_cpu_.IdleUntil(db.clock_.now_ns());
+  db.archive_->ArchiveCheckpointImage(pid, first_page, pages);
+
+  MMDB_RETURN_IF_ERROR(db.Commit(txn));
+  if (is_catalog) {
+    MMDB_RETURN_IF_ERROR(db.WriteCatalogRootBlock());
+  }
+
+  // Step 7: finished — the recovery manager flushes the partition's
+  // remaining log info (archive combine) and resets the bin.
+  req->state = CheckpointState::kFinished;
+  MMDB_RETURN_IF_ERROR(
+      db.recovery_->OnCheckpointFinished(bin_index, db.clock_.now_ns()));
+  CheckpointTrigger trigger = req->trigger;
+  db.slb_->ClearFinished(pid);  // `req` is dangling after this line
+  req = nullptr;
+
+  if (db.opts_.audit_logging) {
+    MMDB_RETURN_IF_ERROR(db.audit_->Append(AuditRecord{
+        0, db.clock_.now_ns(), AuditKind::kCheckpoint, pid.ToString()}));
+  }
+  ++completed_;
+  switch (trigger) {
+    case CheckpointTrigger::kUpdateCount: ++completed_update_; break;
+    case CheckpointTrigger::kAge: ++completed_age_; break;
+    case CheckpointTrigger::kForced: ++completed_forced_; break;
+  }
+  ++db.checkpoints_completed_;
+
+  // Roll retired log extents onto the archive.
+  MMDB_RETURN_IF_ERROR(
+      db.archive_->RollLog(db.log_disks_.get(), db.log_writer_->window_start()));
+  return Status::OK();
+}
+
+}  // namespace mmdb

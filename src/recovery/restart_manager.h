@@ -1,0 +1,39 @@
+#ifndef MMDB_RECOVERY_RESTART_MANAGER_H_
+#define MMDB_RECOVERY_RESTART_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+class Database;
+struct RestartReport;
+
+/// Post-crash restart sequencing (paper §2.5).
+///
+/// "The recovery manager restores the database system catalogs and then
+/// signals the transaction manager to begin processing." The catalog
+/// partition list is read from its well-known stable location (stored
+/// twice: SLB and SLT); each catalog partition is rebuilt from its
+/// checkpoint image plus its bin's log chain; the in-memory catalog and
+/// disk allocation map are then rebuilt from the recovered catalog
+/// entities. Data partitions are left disk-resident, to be recovered on
+/// demand / in the background (kOnDemand) or eagerly (kFullReload).
+class RestartManager {
+ public:
+  explicit RestartManager(Database* db) : db_(db) {}
+
+  RestartManager(const RestartManager&) = delete;
+  RestartManager& operator=(const RestartManager&) = delete;
+
+  Status Restart(RestartReport* report);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_RECOVERY_RESTART_MANAGER_H_

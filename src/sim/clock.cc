@@ -1,0 +1,4 @@
+#include "sim/clock.h"
+
+// SimClock is header-only; this file exists so the build sees one TU per
+// module and future non-inline additions have a home.

@@ -1,0 +1,36 @@
+#ifndef MMDB_SIM_CLOCK_H_
+#define MMDB_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace mmdb::sim {
+
+/// Virtual-time clock for the discrete-event hardware simulation.
+///
+/// All hardware components (CPUs, disks, stable memory) advance one shared
+/// SimClock, so a whole run is deterministic and the benchmark harness can
+/// report modeled elapsed time exactly as the paper's analysis does.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  uint64_t now_ns() const { return now_ns_; }
+  double now_seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+  /// Move time forward by `delta_ns`.
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+
+  /// Move time forward to `t_ns` if it is in the future; never goes back.
+  void AdvanceTo(uint64_t t_ns) {
+    if (t_ns > now_ns_) now_ns_ = t_ns;
+  }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace mmdb::sim
+
+#endif  // MMDB_SIM_CLOCK_H_

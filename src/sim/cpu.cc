@@ -1,0 +1,3 @@
+#include "sim/cpu.h"
+
+// CpuModel is header-only.

@@ -1,0 +1,120 @@
+#include "sim/disk.h"
+
+#include "util/logging.h"
+
+namespace mmdb::sim {
+
+namespace {
+constexpr double kMsToNs = 1e6;
+}  // namespace
+
+uint64_t Disk::PositioningNs(SeekClass seek) const {
+  double ms = params_.settle_ms;
+  switch (seek) {
+    case SeekClass::kSequential:
+      break;  // interleaved sectors: settle time only
+    case SeekClass::kNear:
+      ms += params_.near_seek_ms;
+      break;
+    case SeekClass::kRandom:
+      ms += params_.avg_seek_ms;
+      break;
+  }
+  return static_cast<uint64_t>(ms * kMsToNs);
+}
+
+uint64_t Disk::WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
+                         uint64_t now_ns, SeekClass seek) {
+  MMDB_CHECK(data.size() <= params_.page_size_bytes);
+  uint64_t start = BeginOp(now_ns);
+  uint64_t pos = PositioningNs(seek);
+  auto xfer = static_cast<uint64_t>(params_.page_transfer_ms * kMsToNs);
+  uint64_t done = start + pos + xfer;
+  busy_until_ns_ = done;
+  busy_ns_total_ += static_cast<double>(pos + xfer);
+  store_[page_no] = data;
+  ++pages_written_;
+  if (seek != SeekClass::kSequential) ++seeks_;
+  bytes_written_ += data.size();
+  return done;
+}
+
+uint64_t Disk::WriteTrack(uint64_t first_page_no,
+                          const std::vector<std::vector<uint8_t>>& pages,
+                          uint64_t now_ns, SeekClass seek) {
+  uint64_t start = BeginOp(now_ns);
+  uint64_t pos = PositioningNs(seek);
+  double per_page_ms = params_.page_transfer_ms / params_.track_rate_multiplier;
+  auto xfer = static_cast<uint64_t>(per_page_ms * kMsToNs *
+                                    static_cast<double>(pages.size()));
+  uint64_t done = start + pos + xfer;
+  busy_until_ns_ = done;
+  busy_ns_total_ += static_cast<double>(pos + xfer);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    MMDB_CHECK(pages[i].size() <= params_.page_size_bytes);
+    store_[first_page_no + i] = pages[i];
+    bytes_written_ += pages[i].size();
+  }
+  pages_written_ += pages.size();
+  ++tracks_written_;
+  if (seek != SeekClass::kSequential) ++seeks_;
+  return done;
+}
+
+Status Disk::ReadPage(uint64_t page_no, uint64_t now_ns, SeekClass seek,
+                      std::vector<uint8_t>* data, uint64_t* done_ns) {
+  if (failed_) {
+    return Status::IOError("media failure on disk " + name_);
+  }
+  auto it = store_.find(page_no);
+  if (it == store_.end()) {
+    return Status::NotFound("disk " + name_ + ": page " +
+                            std::to_string(page_no) + " never written");
+  }
+  uint64_t start = BeginOp(now_ns);
+  uint64_t pos = PositioningNs(seek);
+  auto xfer = static_cast<uint64_t>(params_.page_transfer_ms * kMsToNs);
+  uint64_t done = start + pos + xfer;
+  busy_until_ns_ = done;
+  busy_ns_total_ += static_cast<double>(pos + xfer);
+  *data = it->second;
+  *done_ns = done;
+  ++pages_read_;
+  if (seek != SeekClass::kSequential) ++seeks_;
+  bytes_read_ += it->second.size();
+  return Status::OK();
+}
+
+Status Disk::ReadTrack(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
+                       SeekClass seek,
+                       std::vector<std::vector<uint8_t>>* data,
+                       uint64_t* done_ns) {
+  if (failed_) {
+    return Status::IOError("media failure on disk " + name_);
+  }
+  data->clear();
+  for (uint32_t i = 0; i < pages; ++i) {
+    auto it = store_.find(first_page_no + i);
+    if (it == store_.end()) {
+      return Status::NotFound("disk " + name_ + ": page " +
+                              std::to_string(first_page_no + i) +
+                              " never written");
+    }
+    data->push_back(it->second);
+    bytes_read_ += it->second.size();
+  }
+  uint64_t start = BeginOp(now_ns);
+  uint64_t pos = PositioningNs(seek);
+  double per_page_ms = params_.page_transfer_ms / params_.track_rate_multiplier;
+  auto xfer =
+      static_cast<uint64_t>(per_page_ms * kMsToNs * static_cast<double>(pages));
+  uint64_t done = start + pos + xfer;
+  busy_until_ns_ = done;
+  busy_ns_total_ += static_cast<double>(pos + xfer);
+  *done_ns = done;
+  pages_read_ += pages;
+  if (seek != SeekClass::kSequential) ++seeks_;
+  return Status::OK();
+}
+
+}  // namespace mmdb::sim

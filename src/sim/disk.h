@@ -1,0 +1,171 @@
+#ifndef MMDB_SIM_DISK_H_
+#define MMDB_SIM_DISK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmdb::sim {
+
+/// Timing and geometry parameters of a simulated disk.
+///
+/// Defaults model the paper's "two-head-per-surface high-performance disk
+/// drive" (Section 3.1): relatively low seek times, track transfers at
+/// double the per-page rate (partitions are written in whole tracks; log
+/// pages individually on interleaved sectors so consecutive page writes
+/// need no extra rotational delay beyond one sector of think time).
+struct DiskParams {
+  uint32_t page_size_bytes = 8 * 1024;
+  /// Pages per track; with 8KB pages and 48KB partitions a partition is
+  /// exactly one track, matching the paper's "partitions are written in
+  /// whole tracks".
+  uint32_t pages_per_track = 6;
+  /// Random (average) seek, used for checkpoint-image reads/writes.
+  double avg_seek_ms = 8.0;
+  /// Short seek between nearby cylinders, used between sibling log pages
+  /// of one partition ("each page will be relatively close to its sibling").
+  double near_seek_ms = 2.0;
+  /// Head settle / rotational latency component charged per operation.
+  double settle_ms = 0.5;
+  /// Transfer time for one page at the individual-page rate.
+  double page_transfer_ms = 0.4;
+  /// Track transfers run at double the individual-page rate.
+  double track_rate_multiplier = 2.0;
+};
+
+/// Kinds of positioning cost for an access.
+enum class SeekClass {
+  kSequential,  // head already positioned (e.g. circular-queue head)
+  kNear,        // short seek (sibling log pages)
+  kRandom,      // average seek (checkpoint image anywhere on disk)
+};
+
+/// A single simulated disk: a persistent page store plus a service
+/// timeline.
+///
+/// Contents survive `Database::Crash()` (the object simply is not
+/// destroyed); `FailMedia()` simulates a media failure for archive-recovery
+/// tests by dropping all stored pages and failing subsequent reads until
+/// `RepairMedia()` is called.
+///
+/// Timing model: the disk serializes requests on its own `busy_until`
+/// timeline. A request submitted at time `t` starts at max(t, busy_until)
+/// and completes after positioning + transfer. Callers get the completion
+/// time back and decide whether to block on it (synchronous read) or not
+/// (the recovery CPU fires page writes and keeps sorting).
+class Disk {
+ public:
+  Disk(std::string name, DiskParams params)
+      : name_(std::move(name)), params_(params) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  const std::string& name() const { return name_; }
+  const DiskParams& params() const { return params_; }
+
+  /// Submit a one-page write. Returns the completion time (ns).
+  uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
+                     uint64_t now_ns, SeekClass seek);
+
+  /// Submit a whole-track write (`pages` consecutive pages starting at
+  /// `first_page_no`) at the track transfer rate.
+  uint64_t WriteTrack(uint64_t first_page_no,
+                      const std::vector<std::vector<uint8_t>>& pages,
+                      uint64_t now_ns, SeekClass seek);
+
+  /// Read one page. On success fills `*data` and returns the completion
+  /// time via `*done_ns`.
+  Status ReadPage(uint64_t page_no, uint64_t now_ns, SeekClass seek,
+                  std::vector<uint8_t>* data, uint64_t* done_ns);
+
+  /// Read `pages` consecutive pages at the track rate.
+  Status ReadTrack(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
+                   SeekClass seek, std::vector<std::vector<uint8_t>>* data,
+                   uint64_t* done_ns);
+
+  bool Contains(uint64_t page_no) const {
+    return store_.find(page_no) != store_.end();
+  }
+
+  /// Simulated media failure: drops all pages; reads fail until repaired.
+  void FailMedia() {
+    failed_ = true;
+    store_.clear();
+  }
+  void RepairMedia() { failed_ = false; }
+  bool media_failed() const { return failed_; }
+
+  uint64_t busy_until_ns() const { return busy_until_ns_; }
+
+  // --- statistics ---------------------------------------------------------
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t tracks_written() const { return tracks_written_; }
+  uint64_t seeks() const { return seeks_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  double busy_ms_total() const { return busy_ns_total_ * 1e-6; }
+
+ private:
+  uint64_t PositioningNs(SeekClass seek) const;
+  uint64_t BeginOp(uint64_t now_ns) {
+    return now_ns > busy_until_ns_ ? now_ns : busy_until_ns_;
+  }
+
+  std::string name_;
+  DiskParams params_;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> store_;
+  bool failed_ = false;
+
+  uint64_t busy_until_ns_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t tracks_written_ = 0;
+  uint64_t seeks_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  double busy_ns_total_ = 0;
+};
+
+/// A duplexed pair of disks (the paper's log disks are duplexed).
+///
+/// Writes go to both members; the logical completion time is the later of
+/// the two. Reads are served by the primary unless its media failed, in
+/// which case the mirror transparently takes over.
+class DuplexedDisk {
+ public:
+  DuplexedDisk(std::string name, DiskParams params)
+      : primary_(name + "-a", params), mirror_(name + "-b", params) {}
+
+  uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
+                     uint64_t now_ns, SeekClass seek) {
+    uint64_t a = primary_.WritePage(page_no, data, now_ns, seek);
+    uint64_t b = mirror_.WritePage(page_no, data, now_ns, seek);
+    return a > b ? a : b;
+  }
+
+  Status ReadPage(uint64_t page_no, uint64_t now_ns, SeekClass seek,
+                  std::vector<uint8_t>* data, uint64_t* done_ns) {
+    if (!primary_.media_failed()) {
+      return primary_.ReadPage(page_no, now_ns, seek, data, done_ns);
+    }
+    return mirror_.ReadPage(page_no, now_ns, seek, data, done_ns);
+  }
+
+  Disk& primary() { return primary_; }
+  Disk& mirror() { return mirror_; }
+  const Disk& primary() const { return primary_; }
+  const Disk& mirror() const { return mirror_; }
+
+ private:
+  Disk primary_;
+  Disk mirror_;
+};
+
+}  // namespace mmdb::sim
+
+#endif  // MMDB_SIM_DISK_H_

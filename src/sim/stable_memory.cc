@@ -1,0 +1,3 @@
+#include "sim/stable_memory.h"
+
+// StableMemoryMeter is header-only.

@@ -1,0 +1,14 @@
+#include "storage/addr.h"
+
+namespace mmdb {
+
+std::string PartitionId::ToString() const {
+  return "(" + std::to_string(segment) + "," + std::to_string(number) + ")";
+}
+
+std::string EntityAddr::ToString() const {
+  return "(" + std::to_string(partition.segment) + "," +
+         std::to_string(partition.number) + "," + std::to_string(slot) + ")";
+}
+
+}  // namespace mmdb

@@ -1,0 +1,74 @@
+#ifndef MMDB_STORAGE_ADDR_H_
+#define MMDB_STORAGE_ADDR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mmdb {
+
+/// Identifier of a logical segment. Every database object (relation,
+/// index, system data structure) is stored in its own segment (paper §2).
+using SegmentId = uint32_t;
+
+/// Address of one partition: (segment number, partition number).
+///
+/// Partitions are the fixed-size unit of memory allocation, of transfer to
+/// disk in checkpoint operations, and of post-crash recovery.
+struct PartitionId {
+  SegmentId segment = 0;
+  uint32_t number = 0;
+
+  friend bool operator==(const PartitionId&, const PartitionId&) = default;
+  friend auto operator<=>(const PartitionId&, const PartitionId&) = default;
+
+  /// Dense 64-bit packing, usable as a map key or disk-page namespace.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(segment) << 32) | number;
+  }
+  static PartitionId Unpack(uint64_t v) {
+    return PartitionId{static_cast<SegmentId>(v >> 32),
+                       static_cast<uint32_t>(v & 0xFFFFFFFFull)};
+  }
+
+  std::string ToString() const;
+};
+
+/// Address of one database entity (a relation tuple or an index
+/// component): (segment, partition, slot). The paper addresses entities by
+/// (Segment Number, Partition Number, Partition Offset); we use a slot
+/// number within the partition's slot directory as the stable within-
+/// partition coordinate, which survives heap compaction.
+struct EntityAddr {
+  PartitionId partition;
+  uint32_t slot = 0;
+
+  friend bool operator==(const EntityAddr&, const EntityAddr&) = default;
+  friend auto operator<=>(const EntityAddr&, const EntityAddr&) = default;
+
+  bool IsNull() const {
+    return partition.segment == 0 && partition.number == 0 && slot == 0;
+  }
+  static EntityAddr Null() { return EntityAddr{}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace mmdb
+
+template <>
+struct std::hash<mmdb::PartitionId> {
+  size_t operator()(const mmdb::PartitionId& p) const noexcept {
+    return std::hash<uint64_t>{}(p.Pack());
+  }
+};
+
+template <>
+struct std::hash<mmdb::EntityAddr> {
+  size_t operator()(const mmdb::EntityAddr& a) const noexcept {
+    uint64_t h = a.partition.Pack() * 0x9E3779B97F4A7C15ull;
+    return std::hash<uint64_t>{}(h ^ a.slot);
+  }
+};
+
+#endif  // MMDB_STORAGE_ADDR_H_

@@ -1,0 +1,76 @@
+#include "storage/partition_manager.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mmdb {
+
+Result<Partition*> PartitionManager::CreatePartition(SegmentId segment,
+                                                     uint32_t bin_index) {
+  if (segment == 0 || segment >= next_segment_) {
+    return Status::InvalidArgument("unknown segment");
+  }
+  uint32_t number = next_partition_number_[segment]++;
+  PartitionId id{segment, number};
+  auto p = std::make_unique<Partition>(id, partition_size_bytes_, bin_index);
+  Partition* raw = p.get();
+  partitions_[id] = std::move(p);
+  return raw;
+}
+
+Status PartitionManager::InstallRecovered(std::unique_ptr<Partition> p) {
+  PartitionId id = p->id();
+  BumpCounters(id.segment + 1, id);
+  partitions_[id] = std::move(p);
+  return Status::OK();
+}
+
+Status PartitionManager::DropPartition(PartitionId id) {
+  auto it = partitions_.find(id);
+  if (it == partitions_.end()) {
+    return Status::NotFound("partition not resident");
+  }
+  partitions_.erase(it);
+  return Status::OK();
+}
+
+Result<Partition*> PartitionManager::Get(PartitionId id) const {
+  auto it = partitions_.find(id);
+  if (it == partitions_.end()) {
+    return Status::NotResident("partition " + id.ToString() +
+                               " not memory-resident");
+  }
+  return it->second.get();
+}
+
+std::vector<Partition*> PartitionManager::SegmentPartitions(
+    SegmentId segment) const {
+  std::vector<Partition*> out;
+  for (const auto& [id, p] : partitions_) {
+    if (id.segment == segment) out.push_back(p.get());
+  }
+  std::sort(out.begin(), out.end(), [](Partition* a, Partition* b) {
+    return a->id().number < b->id().number;
+  });
+  return out;
+}
+
+std::vector<Partition*> PartitionManager::AllPartitions() const {
+  std::vector<Partition*> out;
+  out.reserve(partitions_.size());
+  for (const auto& [id, p] : partitions_) out.push_back(p.get());
+  std::sort(out.begin(), out.end(), [](Partition* a, Partition* b) {
+    return a->id() < b->id();
+  });
+  return out;
+}
+
+void PartitionManager::BumpCounters(SegmentId min_next_segment,
+                                    PartitionId seen) {
+  if (min_next_segment > next_segment_) next_segment_ = min_next_segment;
+  uint32_t& next = next_partition_number_[seen.segment];
+  if (seen.number + 1 > next) next = seen.number + 1;
+}
+
+}  // namespace mmdb

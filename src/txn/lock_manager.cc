@@ -1,0 +1,109 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+bool LockManager::Compatible(LockMode a, LockMode b) {
+  switch (a) {
+    case LockMode::kIS:
+      return b != LockMode::kX;
+    case LockMode::kIX:
+      return b == LockMode::kIS || b == LockMode::kIX;
+    case LockMode::kS:
+      return b == LockMode::kIS || b == LockMode::kS;
+    case LockMode::kX:
+      return false;
+  }
+  return false;
+}
+
+bool LockManager::Covers(LockMode held, LockMode want) {
+  if (held == want) return true;
+  switch (want) {
+    case LockMode::kIS:
+      return true;  // anything covers IS
+    case LockMode::kIX:
+      return held == LockMode::kX;
+    case LockMode::kS:
+      return held == LockMode::kX;
+    case LockMode::kX:
+      return false;
+  }
+  return false;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
+                            LockMode mode) {
+  std::vector<Holder>& holders = table_[res];
+  Holder* mine = nullptr;
+  for (Holder& h : holders) {
+    if (h.txn_id == txn_id) {
+      mine = &h;
+      break;
+    }
+  }
+  if (mine != nullptr && Covers(mine->mode, mode)) {
+    return Status::OK();
+  }
+  // The mode to hold after the request: the join of old and new (S + IX
+  // has no SIX mode here, so it escalates to X — conservative but safe).
+  LockMode effective = mode;
+  if (mine != nullptr) {
+    bool s_ix_mix = (mine->mode == LockMode::kS && mode == LockMode::kIX) ||
+                    (mine->mode == LockMode::kIX && mode == LockMode::kS);
+    if (s_ix_mix) {
+      effective = LockMode::kX;
+    } else if (Covers(mine->mode, mode)) {
+      effective = mine->mode;
+    }
+  }
+  for (const Holder& h : holders) {
+    if (h.txn_id != txn_id && !Compatible(effective, h.mode)) {
+      ++conflicts_;
+      return Status::Busy("lock conflict");
+    }
+  }
+  ++acquisitions_;
+  if (mine != nullptr) {
+    mine->mode = effective;
+    return Status::OK();
+  }
+  holders.push_back(Holder{txn_id, mode});
+  by_txn_[txn_id].push_back(res);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  auto it = by_txn_.find(txn_id);
+  if (it == by_txn_.end()) return;
+  for (const LockResource& res : it->second) {
+    auto t = table_.find(res);
+    if (t == table_.end()) continue;
+    auto& holders = t->second;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [&](const Holder& h) {
+                                   return h.txn_id == txn_id;
+                                 }),
+                  holders.end());
+    if (holders.empty()) table_.erase(t);
+  }
+  by_txn_.erase(it);
+}
+
+bool LockManager::Holds(uint64_t txn_id, const LockResource& res,
+                        LockMode mode) const {
+  auto t = table_.find(res);
+  if (t == table_.end()) return false;
+  for (const Holder& h : t->second) {
+    if (h.txn_id == txn_id && Covers(h.mode, mode)) return true;
+  }
+  return false;
+}
+
+size_t LockManager::held_count(uint64_t txn_id) const {
+  auto it = by_txn_.find(txn_id);
+  return it == by_txn_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,88 @@
+#ifndef MMDB_TXN_LOCK_MANAGER_H_
+#define MMDB_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/addr.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// Lock modes. Relations take intention locks (IS/IX) from readers/
+/// writers and a shared lock (S) from checkpoint transactions — the paper
+/// (§2.4): "a single read lock on a relation is sufficient to ensure that
+/// its relation and index partitions are all in a transaction consistent
+/// state". Entities (tuples, index components) take S/X held until
+/// commit (§2.3.2, two-phase locks per [Eswaran 76]).
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+/// What is being locked.
+struct LockResource {
+  enum class Kind : uint8_t { kRelation = 0, kEntity = 1 };
+
+  Kind kind = Kind::kRelation;
+  uint64_t hi = 0;  // relation id, or packed PartitionId
+  uint64_t lo = 0;  // 0, or slot
+
+  static LockResource Relation(uint32_t relation_id) {
+    return LockResource{Kind::kRelation, relation_id, 0};
+  }
+  static LockResource Entity(const EntityAddr& a) {
+    return LockResource{Kind::kEntity, a.partition.Pack(), a.slot};
+  }
+
+  friend bool operator==(const LockResource&, const LockResource&) = default;
+};
+
+struct LockResourceHash {
+  size_t operator()(const LockResource& r) const noexcept {
+    uint64_t h = r.hi * 0x9E3779B97F4A7C15ull ^ r.lo;
+    return std::hash<uint64_t>{}(h ^ static_cast<uint64_t>(r.kind));
+  }
+};
+
+/// Two-phase lock manager with a *no-wait* conflict policy: a conflicting
+/// request returns Busy and the caller decides (retry later or abort).
+/// No-wait keeps the cooperative simulation deterministic and deadlock-
+/// free; the paper's design is agnostic to the waiting policy.
+///
+/// Lock upgrades (e.g. S -> X) succeed when the requester is the only
+/// holder.
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Acquires (or upgrades to) `mode` on `res` for `txn_id`.
+  Status Acquire(uint64_t txn_id, const LockResource& res, LockMode mode);
+
+  /// Releases everything `txn_id` holds (commit or abort: strict 2PL).
+  void ReleaseAll(uint64_t txn_id);
+
+  /// True if `txn_id` holds `res` in a mode at least as strong as `mode`.
+  bool Holds(uint64_t txn_id, const LockResource& res, LockMode mode) const;
+
+  size_t held_count(uint64_t txn_id) const;
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t acquisitions() const { return acquisitions_; }
+
+ private:
+  struct Holder {
+    uint64_t txn_id;
+    LockMode mode;
+  };
+
+  static bool Compatible(LockMode a, LockMode b);
+  static bool Covers(LockMode held, LockMode want);
+
+  std::unordered_map<LockResource, std::vector<Holder>, LockResourceHash>
+      table_;
+  std::unordered_map<uint64_t, std::vector<LockResource>> by_txn_;
+  uint64_t conflicts_ = 0;
+  uint64_t acquisitions_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOCK_MANAGER_H_

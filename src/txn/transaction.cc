@@ -1,0 +1,24 @@
+#include "txn/transaction.h"
+
+namespace mmdb {
+
+Transaction* TransactionManager::Begin(TxnKind kind) {
+  uint64_t id = next_id_++;
+  auto txn = std::make_unique<Transaction>(id, kind);
+  Transaction* raw = txn.get();
+  active_[id] = std::move(txn);
+  ++begun_;
+  return raw;
+}
+
+Result<Transaction*> TransactionManager::Get(uint64_t id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) {
+    return Status::NotFound("no active transaction " + std::to_string(id));
+  }
+  return it->second.get();
+}
+
+void TransactionManager::Finish(uint64_t id) { active_.erase(id); }
+
+}  // namespace mmdb

@@ -1,0 +1,101 @@
+#ifndef MMDB_TXN_TRANSACTION_H_
+#define MMDB_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Kinds of transactions in the system (paper §2.4, §2.5): regular user
+/// transactions, checkpoint transactions run by the main CPU on behalf of
+/// the recovery CPU, and recovery transactions that restore partitions
+/// after a crash.
+enum class TxnKind : uint8_t {
+  kUser = 0,
+  kCheckpoint = 1,
+  kRecovery = 2,
+  kSystem = 3,
+};
+
+/// A transaction handle. Lifecycle and bookkeeping only; the actual
+/// commit/abort machinery (SLB, UNDO space, lock release) is driven by
+/// the Database.
+class Transaction {
+ public:
+  Transaction(uint64_t id, TxnKind kind) : id_(id), kind_(kind) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return id_; }
+  TxnKind kind() const { return kind_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  void set_state(TxnState s) { state_ = s; }
+
+  uint64_t redo_records() const { return redo_records_; }
+  uint64_t redo_bytes() const { return redo_bytes_; }
+  void NoteRedo(uint64_t bytes) {
+    ++redo_records_;
+    redo_bytes_ += bytes;
+  }
+
+ private:
+  uint64_t id_;
+  TxnKind kind_;
+  TxnState state_ = TxnState::kActive;
+  uint64_t redo_records_ = 0;
+  uint64_t redo_bytes_ = 0;
+};
+
+/// Issues transaction ids and tracks active transactions. Ids never
+/// repeat across crashes: the Database seeds `next_id` from the SLB's
+/// stable high-water mark at restart.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  Transaction* Begin(TxnKind kind = TxnKind::kUser);
+
+  Result<Transaction*> Get(uint64_t id);
+
+  /// Removes a finished transaction's bookkeeping.
+  void Finish(uint64_t id);
+
+  void SeedNextId(uint64_t next) {
+    if (next > next_id_) next_id_ = next;
+  }
+
+  size_t active_count() const { return active_.size(); }
+  uint64_t begun() const { return begun_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  void NoteCommit() { ++committed_; }
+  void NoteAbort() { ++aborted_; }
+
+  /// Crash: all in-flight transactions simply vanish with the volatile
+  /// state they touched.
+  void Clear() { active_.clear(); }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> active_;
+  uint64_t begun_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_TRANSACTION_H_

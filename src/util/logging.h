@@ -1,0 +1,21 @@
+#ifndef MMDB_UTIL_LOGGING_H_
+#define MMDB_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard programmer errors (broken
+// invariants), not recoverable runtime conditions; runtime errors are
+// reported through Status.
+#define MMDB_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "MMDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define MMDB_DCHECK(cond) MMDB_CHECK(cond)
+
+#endif  // MMDB_UTIL_LOGGING_H_

@@ -1,0 +1,51 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mmdb {
+
+Random::Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+uint64_t Random::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  MMDB_CHECK(n > 0);
+  return Next() % n;
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  MMDB_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+uint64_t Random::Skewed(uint64_t n, double theta) {
+  MMDB_CHECK(n > 0);
+  // Map a uniform draw through x^(1/(1-theta)) to concentrate mass near 0.
+  double u = (Next() >> 11) * (1.0 / 9007199254740992.0);
+  double x = std::pow(u, 1.0 / (1.0 - theta));
+  auto idx = static_cast<uint64_t>(x * static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+std::string Random::NextString(size_t len) {
+  std::string s(len, 'a');
+  for (auto& ch : s) ch = static_cast<char>('a' + Uniform(26));
+  return s;
+}
+
+}  // namespace mmdb

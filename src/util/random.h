@@ -1,0 +1,41 @@
+#ifndef MMDB_UTIL_RANDOM_H_
+#define MMDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmdb {
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// Used by workload generators and property tests; seeding makes every
+/// simulation run reproducible, which the test suite relies on.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-like skewed pick in [0, n): element 0 hottest. `theta` in (0,1);
+  /// higher theta = more skew. Uses the standard CDF-free approximation.
+  uint64_t Skewed(uint64_t n, double theta);
+
+  /// Random ASCII lowercase string of length `len`.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_RANDOM_H_

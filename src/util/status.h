@@ -1,0 +1,117 @@
+#ifndef MMDB_UTIL_STATUS_H_
+#define MMDB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mmdb {
+
+/// Result status of a fallible operation (RocksDB-style: no exceptions).
+///
+/// A `Status` is either OK or carries an error code plus a human-readable
+/// message. All public mmdb APIs that can fail return `Status` (or
+/// `Result<T>`, see below). Callers are expected to check `ok()`.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,           // lock conflict under the no-wait policy
+    kAborted = 6,        // transaction was aborted
+    kNotSupported = 7,
+    kFull = 8,           // out of space (partition, SLB, log window, ...)
+    kNotResident = 9,    // partition not yet recovered into memory
+    kFault = 10,         // injected fault (tests)
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Full(std::string msg = "") {
+    return Status(Code::kFull, std::move(msg));
+  }
+  static Status NotResident(std::string msg = "") {
+    return Status(Code::kNotResident, std::move(msg));
+  }
+  static Status Fault(std::string msg = "") {
+    return Status(Code::kFault, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsFull() const { return code_ == Code::kFull; }
+  bool IsNotResident() const { return code_ == Code::kNotResident; }
+  bool IsFault() const { return code_ == Code::kFault; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value-or-error pair. `value()` must only be accessed when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define MMDB_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::mmdb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_STATUS_H_

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "analysis/model.h"
+#include "test_util.h"
+
+namespace mmdb::analysis {
+namespace {
+
+TEST(Table2Test, CalculatedRowsMatchPaperEnvirons) {
+  Table2 t;  // paper defaults
+  // N_log_pages = 1000 * 24 / 8192 ~= 2.93 pages per checkpoint.
+  EXPECT_NEAR(t.NLogPages(), 2.93, 0.01);
+  // I_page_write = 500 + 100 + 40 + 40/2.93 ~= 653.7 instructions.
+  EXPECT_NEAR(t.IPageWrite(), 653.65, 0.5);
+  // I_record_sort = 20+10+3+3+10 + 653.65*24/8192 ~= 47.9 instructions.
+  EXPECT_NEAR(t.IRecordSort(), 47.9, 0.2);
+  // ~20.9k records/second on a 1-MIPS recovery CPU.
+  EXPECT_NEAR(t.RRecordsLogged(), 20877.0, 150.0);
+  EXPECT_NEAR(t.RBytesLogged(), t.RRecordsLogged() * 24.0, 1.0);
+}
+
+TEST(Table2Test, DebitCreditHeadline) {
+  // Paper §3.2: "Given four log records per transaction, our logging
+  // component estimated capacity is approximately 4,000 transactions per
+  // second."
+  Table2 t;
+  double rate = t.MaxTransactionRate(4.0);
+  EXPECT_GT(rate, 4000.0);
+  EXPECT_LT(rate, 6000.0);
+}
+
+TEST(Table2Test, LoggingRateFallsWithRecordSize) {
+  Table2 t;
+  double prev = 1e18;
+  for (double s : {8.0, 16.0, 24.0, 48.0, 64.0}) {
+    t.s_log_record = s;
+    double r = t.RRecordsLogged();
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Table2Test, LoggingByteRateRisesWithRecordSize) {
+  // Bigger records amortize per-record costs over more bytes.
+  Table2 t;
+  t.s_log_record = 8.0;
+  double small = t.RBytesLogged();
+  t.s_log_record = 64.0;
+  double big = t.RBytesLogged();
+  EXPECT_GT(big, small);
+}
+
+TEST(Table2Test, FasterCpuScalesLinearly) {
+  Table2 t;
+  double base = t.RRecordsLogged();
+  t.p_recovery_mips = 2.0;
+  EXPECT_NEAR(t.RRecordsLogged(), 2.0 * base, 1.0);
+}
+
+TEST(Table2Test, CheckpointRateMixes) {
+  Table2 t;
+  double rate = 10000.0;  // records/second
+  double best = t.CheckpointRateBest(rate);
+  double worst = t.CheckpointRateWorst(rate);
+  EXPECT_NEAR(best, 10.0, 1e-9);  // 10000/1000
+  // Worst: one page (8192/24 ~= 341 records) per checkpoint.
+  EXPECT_NEAR(worst, 10000.0 * 24.0 / 8192.0, 1e-6);
+  EXPECT_GT(worst, best);
+  // Mixes interpolate monotonically.
+  double prev = best;
+  for (double f_age : {0.25, 0.5, 0.75, 1.0}) {
+    double mixed = t.CheckpointRate(rate, 1.0 - f_age, f_age);
+    EXPECT_GT(mixed, prev);
+    prev = mixed;
+  }
+}
+
+TEST(Table2Test, LargerNUpdateLowersCheckpointRate) {
+  Table2 t;
+  double r1 = t.CheckpointRateBest(10000.0);
+  t.n_update = 2000.0;
+  double r2 = t.CheckpointRateBest(10000.0);
+  EXPECT_NEAR(r2, r1 / 2.0, 1e-9);
+}
+
+TEST(Table2Test, CheckpointSignalAmortizedAtLeastOnePage) {
+  Table2 t;
+  t.n_update = 10.0;  // fewer than a page of records per checkpoint
+  EXPECT_LE(t.IPageWrite(), 500.0 + 100.0 + 40.0 + 40.0);
+}
+
+TEST(RecoveryModelTest, PartitionRecoveryScalesWithLogPages) {
+  RecoveryModel m;
+  double r0 = m.PartitionRecoveryMs(0);
+  double r3 = m.PartitionRecoveryMs(3);
+  double r30 = m.PartitionRecoveryMs(30);
+  EXPECT_LT(r0, r3);
+  EXPECT_LT(r3, r30);
+  // Beyond the directory size, backward anchor reads add extra cost:
+  // slope must exceed the plain per-page cost.
+  double per_page = m.log_disk.NearPageReadMs();
+  EXPECT_GT(r30 - r3, (30 - 3) * per_page * 0.99);
+}
+
+TEST(RecoveryModelTest, TimeToFirstTransactionMuchLessThanFullReload) {
+  RecoveryModel m;
+  // 2000-partition database (~94 MB), 3 pages of log per partition,
+  // a transaction needing 4 partitions plus 2 catalog partitions.
+  double first_txn = m.TimeToFirstTransactionMs(2, 4, 3);
+  double reload = m.DatabaseReloadMs(2000, 2000 * 3);
+  EXPECT_LT(first_txn * 20, reload);  // orders of magnitude sooner
+}
+
+TEST(RecoveryModelTest, ReloadDominatedByVolume) {
+  RecoveryModel m;
+  double small = m.DatabaseReloadMs(100, 300);
+  double big = m.DatabaseReloadMs(1000, 3000);
+  EXPECT_GT(big, small * 8);
+}
+
+TEST(FormatTable2Test, EmitsEveryRow) {
+  auto rows = FormatTable2(Table2{});
+  EXPECT_EQ(rows.size(), 19u);
+  bool found_sort = false;
+  for (const auto& r : rows) {
+    if (r.find("I_record_sort") != std::string::npos) found_sort = true;
+  }
+  EXPECT_TRUE(found_sort);
+}
+
+}  // namespace
+}  // namespace mmdb::analysis

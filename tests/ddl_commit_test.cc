@@ -1,0 +1,205 @@
+// Tests for the DDL drop paths and the commit-durability baselines
+// (stable-memory instant commit vs disk-force WAL vs FASTPATH-style
+// group commit).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+Schema S() {
+  return Schema({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+DatabaseOptions SmallOptions() {
+  DatabaseOptions o;
+  o.partition_size_bytes = 16 * 1024;
+  o.log_page_bytes = 2 * 1024;
+  o.n_update = 100;
+  return o;
+}
+
+Status Fill(Database* db, const std::string& rel, int n) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  for (int i = 0; i < n; ++i) {
+    auto a = db->Insert(txn.value(), rel, Tuple{static_cast<int64_t>(i),
+                                                static_cast<int64_t>(i)});
+    if (!a.ok()) return a.status();
+  }
+  return db->Commit(txn.value());
+}
+
+class DdlTest : public ::testing::Test {
+ protected:
+  DdlTest() : db_(SmallOptions()) {}
+  Database db_;
+};
+
+TEST_F(DdlTest, DropIndexRemovesStructures) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(db_.CreateIndex("r_id", "r", "id", IndexType::kTTree));
+  ASSERT_OK(Fill(&db_, "r", 100));
+  size_t resident_before = db_.partitions().resident_count();
+  ASSERT_OK(db_.DropIndex("r_id"));
+  EXPECT_LT(db_.partitions().resident_count(), resident_before);
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  EXPECT_TRUE(db_.IndexLookup(txn.value(), "r_id", 5).status().IsNotFound());
+  // Base relation unaffected.
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 100u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(DdlTest, DropUnknownIndexRejected) {
+  EXPECT_TRUE(db_.DropIndex("nope").IsNotFound());
+  EXPECT_TRUE(db_.DropRelation("nope").IsNotFound());
+}
+
+TEST_F(DdlTest, DropRelationDropsIndexesAndFreesSlots) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(db_.CreateIndex("r_id", "r", "id", IndexType::kLinearHash));
+  ASSERT_OK(Fill(&db_, "r", 200));
+  ASSERT_OK(db_.ForceCheckpointRelation("r"));
+  ASSERT_OK(db_.DropRelation("r"));
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  EXPECT_TRUE(db_.Scan(txn.value(), "r").status().IsNotFound());
+  ASSERT_OK(db_.Commit(txn.value()));
+  // Name reusable; new relation works.
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 10));
+}
+
+TEST_F(DdlTest, DropSurvivesCrashRestart) {
+  ASSERT_OK(db_.CreateRelation("keep", S()));
+  ASSERT_OK(db_.CreateRelation("gone", S()));
+  ASSERT_OK(Fill(&db_, "keep", 50));
+  ASSERT_OK(Fill(&db_, "gone", 50));
+  ASSERT_OK(db_.CheckpointEverything());
+  ASSERT_OK(db_.DropRelation("gone"));
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  EXPECT_TRUE(db_.Scan(txn.value(), "gone").status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "keep"));
+  EXPECT_EQ(rows.size(), 50u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(DdlTest, DroppedSlotsAreReusable) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 200));
+  ASSERT_OK(db_.ForceCheckpointRelation("r"));
+  uint64_t free_before = 0;
+  {
+    // Count free checkpoint slots while the relation holds checkpoints.
+    free_before = db_.GetStats().partitions_resident;  // placeholder use
+  }
+  ASSERT_OK(db_.DropRelation("r"));
+  // Re-create and checkpoint again: allocation must succeed (slots were
+  // freed and logged).
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 200));
+  ASSERT_OK(db_.ForceCheckpointRelation("r"));
+  (void)free_before;
+}
+
+TEST_F(DdlTest, DropWhileWriterActiveIsBusy) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 10));
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK(db_.Insert(txn.value(), "r", Tuple{int64_t{99}, int64_t{0}})
+                .status());
+  EXPECT_TRUE(db_.DropRelation("r").IsBusy());
+  ASSERT_OK(db_.Commit(txn.value()));
+  ASSERT_OK(db_.DropRelation("r"));
+}
+
+class CommitModeTest : public ::testing::Test {
+ protected:
+  static DatabaseOptions Opt(CommitMode mode, uint32_t group = 8) {
+    DatabaseOptions o = SmallOptions();
+    o.commit_mode = mode;
+    o.group_commit_txns = group;
+    return o;
+  }
+
+  static double RunWorkload(Database* db, int txns) {
+    EXPECT_OK(db->CreateRelation("r", S()));
+    uint64_t t0 = db->now_ns();
+    for (int i = 0; i < txns; ++i) {
+      auto txn = db->Begin();
+      EXPECT_OK(txn.status());
+      EXPECT_OK(db->Insert(txn.value(), "r",
+                           Tuple{static_cast<int64_t>(i), int64_t{0}})
+                    .status());
+      EXPECT_OK(db->Commit(txn.value()));
+    }
+    return static_cast<double>(db->now_ns() - t0) * 1e-6;
+  }
+};
+
+TEST_F(CommitModeTest, StableMemoryCommitNeverWaits) {
+  Database db(Opt(CommitMode::kStableMemory));
+  RunWorkload(&db, 50);
+  auto s = db.GetStats();
+  EXPECT_EQ(s.log_forces, 0u);
+  EXPECT_EQ(s.commits_waited, 0u);
+  EXPECT_DOUBLE_EQ(s.commit_wait_ms_total, 0.0);
+}
+
+TEST_F(CommitModeTest, DiskForceWaitsEveryCommit) {
+  Database db(Opt(CommitMode::kDiskForce));
+  RunWorkload(&db, 50);
+  auto s = db.GetStats();
+  EXPECT_EQ(s.log_forces, 50u);
+  EXPECT_EQ(s.commits_waited, 50u);
+  EXPECT_GT(s.commit_wait_ms_total, 0.0);
+}
+
+TEST_F(CommitModeTest, GroupCommitAmortizesForces) {
+  Database db(Opt(CommitMode::kGroupCommit, 10));
+  RunWorkload(&db, 50);
+  auto s = db.GetStats();
+  EXPECT_EQ(s.log_forces, 5u);  // 50 txns / 10 per group
+  EXPECT_EQ(s.commits_waited, 50u);
+}
+
+TEST_F(CommitModeTest, ThroughputOrdering) {
+  Database stable(Opt(CommitMode::kStableMemory));
+  Database group(Opt(CommitMode::kGroupCommit, 10));
+  Database force(Opt(CommitMode::kDiskForce));
+  double t_stable = RunWorkload(&stable, 80);
+  double t_group = RunWorkload(&group, 80);
+  double t_force = RunWorkload(&force, 80);
+  // The paper's argument: stable-memory commit removes log I/O waits
+  // entirely; group commit amortizes them; per-commit forcing is worst.
+  EXPECT_LT(t_stable, t_group);
+  EXPECT_LT(t_group, t_force);
+}
+
+TEST_F(CommitModeTest, RecoveryUnaffectedByCommitMode) {
+  for (CommitMode mode : {CommitMode::kStableMemory, CommitMode::kDiskForce,
+                          CommitMode::kGroupCommit}) {
+    Database db(Opt(mode, 4));
+    ASSERT_OK(db.CreateRelation("r", S()));
+    ASSERT_OK(Fill(&db, "r", 60));
+    db.Crash();
+    ASSERT_OK(db.Restart());
+    auto txn = db.Begin();
+    ASSERT_OK(txn.status());
+    ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+    EXPECT_EQ(rows.size(), 60u);
+    ASSERT_OK(db.Commit(txn.value()));
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

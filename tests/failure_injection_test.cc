@@ -1,0 +1,183 @@
+// Failure-injection tests: corruption of stable structures must surface
+// as Status::Corruption at recovery time, never as silent wrong answers;
+// duplexed log disks must mask single-member media failures.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+Schema S() {
+  return Schema({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+DatabaseOptions SmallOptions() {
+  DatabaseOptions o;
+  o.partition_size_bytes = 16 * 1024;
+  o.log_page_bytes = 2 * 1024;
+  o.n_update = 100;
+  return o;
+}
+
+Status Fill(Database* db, const std::string& rel, int from, int to) {
+  auto txn = db->Begin();
+  if (!txn.ok()) return txn.status();
+  for (int i = from; i < to; ++i) {
+    auto a = db->Insert(txn.value(), rel, Tuple{static_cast<int64_t>(i),
+                                                static_cast<int64_t>(i)});
+    if (!a.ok()) return a.status();
+  }
+  return db->Commit(txn.value());
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : db_(SmallOptions()) {}
+  Database db_;
+};
+
+TEST_F(FailureInjectionTest, CorruptLogPageOnBothMirrorsDetectedAtRestart) {
+  // Keep checkpoints off so the first log page stays in a bin chain and
+  // must be read back at recovery.
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db_(o);
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 400));  // enough for on-disk log pages
+  ASSERT_GT(db_.log_writer().pages_written(), 0u);
+
+  // Find a real bin page (skip WAL namespace) and flip a payload bit on
+  // both mirrors.
+  uint64_t victim = 0;
+  std::vector<uint8_t> raw;
+  uint64_t done;
+  ASSERT_OK(db_.log_disks().primary().ReadPage(victim, 0,
+                                               sim::SeekClass::kNear, &raw,
+                                               &done));
+  raw.back() ^= 0x01;
+  db_.log_disks().primary().WritePage(victim, raw, 0, sim::SeekClass::kNear);
+  db_.log_disks().mirror().WritePage(victim, raw, 0, sim::SeekClass::kNear);
+
+  db_.Crash();
+  Status st = db_.Restart();
+  if (st.ok()) {
+    // The corrupted page belonged to a data partition, not the catalog:
+    // restart succeeds and the error surfaces at on-demand recovery.
+    auto txn = db_.Begin();
+    ASSERT_OK(txn.status());
+    st = db_.Scan(txn.value(), "r").status();
+  }
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, SingleMirrorCorruptionIsMasked) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 400));
+  // Fail only the primary: the duplexed pair serves from the mirror.
+  db_.log_disks().primary().FailMedia();
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 400u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(FailureInjectionTest, CorruptCheckpointImageDetected) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 100));
+  ASSERT_OK(db_.ForceCheckpointRelation("r"));
+  ASSERT_OK_AND_ASSIGN(auto* rel, db_.catalog().GetRelation("r"));
+  ASSERT_FALSE(rel->partitions.empty());
+  uint64_t page = rel->partitions[0].checkpoint_page;
+  ASSERT_NE(page, kNoCheckpointPage);
+  // Smash the image's first page (the partition header).
+  std::vector<uint8_t> raw;
+  uint64_t done;
+  ASSERT_OK(db_.checkpoint_disk().ReadPage(page, 0, sim::SeekClass::kNear,
+                                           &raw, &done));
+  for (size_t i = 0; i < 16; ++i) raw[i] = 0xFF;
+  db_.checkpoint_disk().WritePage(page, raw, 0, sim::SeekClass::kNear);
+
+  db_.Crash();
+  Status st = db_.Restart();
+  if (st.ok()) {
+    auto txn = db_.Begin();
+    ASSERT_OK(txn.status());
+    st = db_.Scan(txn.value(), "r").status();
+  }
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, MissingCatalogRootIsFreshStart) {
+  // A database that never created anything: both root copies empty.
+  Database db(SmallOptions());
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  ASSERT_OK(db.CreateRelation("r", S()));
+}
+
+TEST_F(FailureInjectionTest, SlbRootCopyLostFallsBackToSltCopy) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 50));
+  db_.Crash();
+  // Simulate losing the SLB copy of the root (e.g. partial stable-memory
+  // failure): the SLT copy must carry the restart.
+  db_.slb().SetCatalogRoot({});
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 50u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(FailureInjectionTest, CheckpointDiskFullSurfacesAsFull) {
+  DatabaseOptions o = SmallOptions();
+  o.checkpoint_disk_slots = 2;  // room for almost nothing
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+  Status st = Fill(&db, "r", 0, 100);
+  if (st.ok()) st = db.CheckpointEverything();
+  // Several partitions (catalog + data) cannot fit in 2 slots.
+  EXPECT_TRUE(st.IsFull()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, SltBudgetExhaustionSurfacesAsFull) {
+  // Each active partition pins a 2KB page buffer in stable memory; many
+  // simultaneously-active partitions must exhaust a tiny budget.
+  DatabaseOptions o = SmallOptions();
+  o.stable_memory_bytes = 24 * 1024;
+  o.slb_capacity_bytes = 8 * 1024;
+  o.auto_run_checkpoints = false;  // nothing ever releases the pages
+  o.n_update = 1ull << 30;
+  Database db(o);
+  Status st = Status::OK();
+  for (int r = 0; r < 40 && st.ok(); ++r) {
+    st = db.CreateRelation("r" + std::to_string(r), S());
+    if (st.ok()) st = Fill(&db, "r" + std::to_string(r), 0, 5);
+  }
+  EXPECT_TRUE(st.IsFull()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, DoubleCrashBeforeAnyWorkIsSafe) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 30));
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  db_.Crash();  // crash again before touching anything
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 30u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+}  // namespace
+}  // namespace mmdb

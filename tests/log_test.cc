@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "log/log_disk.h"
+#include "log/log_record.h"
+#include "log/slb.h"
+#include "log/slt.h"
+#include "sim/stable_memory.h"
+#include "storage/partition.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+LogRecord MakeInsert(uint64_t txn, PartitionId pid, uint32_t bin,
+                     uint32_t slot, std::vector<uint8_t> data) {
+  LogRecord r;
+  r.op = LogOp::kInsert;
+  r.bin_index = bin;
+  r.txn_id = txn;
+  r.partition = pid;
+  r.slot = slot;
+  r.data = std::move(data);
+  return r;
+}
+
+TEST(LogRecordTest, SerializeParseRoundTripAllOps) {
+  std::vector<LogRecord> recs;
+  recs.push_back(MakeInsert(7, {1, 2}, 3, 4, testing::Bytes({9, 8, 7})));
+  {
+    LogRecord r;
+    r.op = LogOp::kDelete;
+    r.bin_index = 1;
+    r.txn_id = 2;
+    r.partition = {3, 4};
+    r.slot = 5;
+    recs.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.op = LogOp::kUpdate;
+    r.bin_index = 1;
+    r.txn_id = 2;
+    r.partition = {3, 4};
+    r.slot = 5;
+    r.data = testing::FilledBytes(100, 3);
+    recs.push_back(r);
+  }
+  for (LogOp op : {LogOp::kNodeInsertEntry, LogOp::kNodeRemoveEntry}) {
+    LogRecord r;
+    r.op = op;
+    r.bin_index = 9;
+    r.txn_id = 10;
+    r.partition = {11, 12};
+    r.slot = 13;
+    r.key = -42;
+    r.child = EntityAddr{{14, 15}, 16};
+    recs.push_back(r);
+  }
+
+  std::vector<uint8_t> buf;
+  for (const LogRecord& r : recs) {
+    size_t before = buf.size();
+    r.AppendTo(&buf);
+    EXPECT_EQ(buf.size() - before, r.SerializedSize());
+  }
+  wire::Reader reader(buf);
+  for (const LogRecord& want : recs) {
+    ASSERT_OK_AND_ASSIGN(LogRecord got, LogRecord::Parse(&reader));
+    EXPECT_EQ(got.op, want.op);
+    EXPECT_EQ(got.bin_index, want.bin_index);
+    EXPECT_EQ(got.txn_id, want.txn_id);
+    EXPECT_EQ(got.partition, want.partition);
+    EXPECT_EQ(got.slot, want.slot);
+    EXPECT_EQ(got.data, want.data);
+    EXPECT_EQ(got.key, want.key);
+    EXPECT_EQ(got.child, want.child);
+  }
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(LogRecordTest, ParseRejectsGarbage) {
+  std::vector<uint8_t> buf = {0xFF, 0x00};
+  wire::Reader r(buf);
+  EXPECT_TRUE(LogRecord::Parse(&r).status().IsCorruption());
+}
+
+TEST(LogRecordTest, ApplyAndUndoAreInverses) {
+  Partition p({1, 2}, 8192, 0);
+  LogRecord ins = MakeInsert(1, {1, 2}, 0, 0, testing::Bytes({5, 5}));
+  ASSERT_OK(ApplyLogRecord(ins, &p));
+  ASSERT_TRUE(p.SlotUsed(0));
+
+  LogRecord undo_ins = MakeUndo(ins, {});
+  ASSERT_OK(ApplyLogRecord(undo_ins, &p));
+  EXPECT_FALSE(p.SlotUsed(0));
+
+  // Update + its undo restore the pre-image.
+  ASSERT_OK(ApplyLogRecord(ins, &p));
+  LogRecord upd = ins;
+  upd.op = LogOp::kUpdate;
+  upd.data = testing::Bytes({7, 7, 7});
+  LogRecord undo_upd = MakeUndo(upd, testing::Bytes({5, 5}));
+  ASSERT_OK(ApplyLogRecord(upd, &p));
+  ASSERT_OK(ApplyLogRecord(undo_upd, &p));
+  ASSERT_OK_AND_ASSIGN(auto bytes, p.Read(0));
+  EXPECT_EQ(std::vector<uint8_t>(bytes.begin(), bytes.end()),
+            testing::Bytes({5, 5}));
+
+  // Delete + undo(delete) restore the entity.
+  LogRecord del = ins;
+  del.op = LogOp::kDelete;
+  del.data.clear();
+  LogRecord undo_del = MakeUndo(del, testing::Bytes({5, 5}));
+  ASSERT_OK(ApplyLogRecord(del, &p));
+  EXPECT_FALSE(p.SlotUsed(0));
+  ASSERT_OK(ApplyLogRecord(undo_del, &p));
+  EXPECT_TRUE(p.SlotUsed(0));
+}
+
+TEST(LogRecordTest, ApplyToWrongPartitionRejected) {
+  Partition p({9, 9}, 8192, 0);
+  LogRecord ins = MakeInsert(1, {1, 2}, 0, 0, testing::Bytes({5}));
+  EXPECT_TRUE(ApplyLogRecord(ins, &p).IsInvalidArgument());
+}
+
+class SlbTest : public ::testing::Test {
+ protected:
+  SlbTest()
+      : meter_(1 << 20),
+        slb_(StableLogBuffer::Config{256, 1 << 20}, &meter_) {}
+
+  sim::StableMemoryMeter meter_;
+  StableLogBuffer slb_;
+};
+
+TEST_F(SlbTest, CommitOrderPreserved) {
+  // T1 and T2 interleave appends; T2 commits first, so its records come
+  // out first.
+  ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, 0, {})));
+  ASSERT_OK(slb_.Append(2, MakeInsert(2, {1, 0}, 0, 1, {})));
+  ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, 2, {})));
+  ASSERT_OK(slb_.Commit(2));
+  ASSERT_OK(slb_.Commit(1));
+  std::vector<uint64_t> order;
+  while (slb_.HasCommittedRecords()) {
+    ASSERT_OK_AND_ASSIGN(LogRecord r, slb_.PopCommitted());
+    order.push_back(r.txn_id * 10 + r.slot);
+  }
+  EXPECT_EQ(order, (std::vector<uint64_t>{21, 10, 12}));
+}
+
+TEST_F(SlbTest, DiscardDropsUncommittedRecords) {
+  ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, 0, {})));
+  uint64_t allocated = meter_.allocated_bytes();
+  EXPECT_GT(allocated, 0u);
+  ASSERT_OK(slb_.Discard(1));
+  EXPECT_EQ(meter_.allocated_bytes(), 0u);
+  EXPECT_FALSE(slb_.HasCommittedRecords());
+}
+
+TEST_F(SlbTest, ReadOnlyCommitIsNoop) {
+  ASSERT_OK(slb_.Commit(42));
+  EXPECT_FALSE(slb_.HasCommittedRecords());
+}
+
+TEST_F(SlbTest, BlocksFreedAsConsumed) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, i,
+                                        testing::FilledBytes(64, 1))));
+  }
+  ASSERT_OK(slb_.Commit(1));
+  uint64_t before = meter_.allocated_bytes();
+  while (slb_.HasCommittedRecords()) {
+    ASSERT_OK(slb_.PopCommitted().status());
+  }
+  EXPECT_EQ(meter_.allocated_bytes(), 0u);
+  EXPECT_GT(before, 0u);
+}
+
+TEST_F(SlbTest, OversizedRecordGetsDedicatedBlock) {
+  ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, 0,
+                                      testing::FilledBytes(1000, 2))));
+  ASSERT_OK(slb_.Commit(1));
+  ASSERT_OK_AND_ASSIGN(LogRecord r, slb_.PopCommitted());
+  EXPECT_EQ(r.data.size(), 1000u);
+}
+
+TEST_F(SlbTest, FullWhenBudgetExhausted) {
+  sim::StableMemoryMeter small(600);
+  StableLogBuffer slb(StableLogBuffer::Config{256, 600}, &small);
+  Status st = Status::OK();
+  for (int i = 0; i < 100 && st.ok(); ++i) {
+    st = slb.Append(1, MakeInsert(1, {1, 0}, 0, i, testing::FilledBytes(40, 1)));
+  }
+  EXPECT_TRUE(st.IsFull());
+}
+
+TEST_F(SlbTest, CheckpointRequestDeduplication) {
+  EXPECT_TRUE(slb_.RequestCheckpoint({1, 0}, CheckpointTrigger::kUpdateCount));
+  EXPECT_FALSE(slb_.RequestCheckpoint({1, 0}, CheckpointTrigger::kAge));
+  EXPECT_TRUE(slb_.RequestCheckpoint({1, 1}, CheckpointTrigger::kAge));
+  slb_.checkpoint_requests().front().state = CheckpointState::kFinished;
+  slb_.ClearFinished({1, 0});
+  EXPECT_EQ(slb_.checkpoint_requests().size(), 1u);
+  EXPECT_TRUE(slb_.RequestCheckpoint({1, 0}, CheckpointTrigger::kAge));
+}
+
+TEST_F(SlbTest, CrashDiscardsUncommittedKeepsCommitted) {
+  ASSERT_OK(slb_.Append(1, MakeInsert(1, {1, 0}, 0, 0, {})));
+  ASSERT_OK(slb_.Append(2, MakeInsert(2, {1, 0}, 0, 1, {})));
+  ASSERT_OK(slb_.Commit(1));
+  slb_.RequestCheckpoint({1, 0}, CheckpointTrigger::kAge);
+  slb_.OnCrash();
+  EXPECT_TRUE(slb_.checkpoint_requests().empty());
+  ASSERT_TRUE(slb_.HasCommittedRecords());
+  ASSERT_OK_AND_ASSIGN(LogRecord r, slb_.PopCommitted());
+  EXPECT_EQ(r.txn_id, 1u);
+  EXPECT_FALSE(slb_.HasCommittedRecords());
+  EXPECT_GE(slb_.max_txn_id(), 2u);
+}
+
+class SltTest : public ::testing::Test {
+ protected:
+  SltTest()
+      : meter_(1 << 20),
+        slt_(StableLogTail::Config{4, 50, 1024}, &meter_) {}
+
+  sim::StableMemoryMeter meter_;
+  StableLogTail slt_;
+};
+
+TEST_F(SltTest, RegisterFindRelease) {
+  ASSERT_OK_AND_ASSIGN(uint32_t b0, slt_.RegisterPartition({1, 0}));
+  ASSERT_OK_AND_ASSIGN(uint32_t b1, slt_.RegisterPartition({1, 1}));
+  EXPECT_NE(b0, b1);
+  ASSERT_OK_AND_ASSIGN(uint32_t found, slt_.FindBin({1, 1}));
+  EXPECT_EQ(found, b1);
+  ASSERT_OK(slt_.ReleaseBin(b0));
+  EXPECT_TRUE(slt_.FindBin({1, 0}).status().IsNotFound());
+  // Released bin index is recycled.
+  ASSERT_OK_AND_ASSIGN(uint32_t b2, slt_.RegisterPartition({2, 0}));
+  EXPECT_EQ(b2, b0);
+}
+
+TEST_F(SltTest, ActivePageAccounting) {
+  ASSERT_OK_AND_ASSIGN(uint32_t b, slt_.RegisterPartition({1, 0}));
+  uint64_t before = meter_.allocated_bytes();
+  ASSERT_OK(slt_.AppendToActivePage(b, testing::FilledBytes(10, 1)));
+  // First append allocates the page buffer.
+  EXPECT_EQ(meter_.allocated_bytes(), before + 1024);
+  ASSERT_OK(slt_.AppendToActivePage(b, testing::FilledBytes(10, 2)));
+  EXPECT_EQ(meter_.allocated_bytes(), before + 1024);
+  ASSERT_OK_AND_ASSIGN(PartitionBin * bin, slt_.bin(b));
+  EXPECT_EQ(bin->active_records, 2u);
+  EXPECT_EQ(bin->active_page.size(), 20u);
+  ASSERT_OK(slt_.ResetAfterCheckpoint(b));
+  EXPECT_EQ(meter_.allocated_bytes(), before);
+  EXPECT_EQ(bin->active_records, 0u);
+}
+
+TEST_F(SltTest, ActiveBinsListsOnlyOutstanding) {
+  ASSERT_OK_AND_ASSIGN(uint32_t b0, slt_.RegisterPartition({1, 0}));
+  ASSERT_OK_AND_ASSIGN(uint32_t b1, slt_.RegisterPartition({1, 1}));
+  (void)b1;
+  EXPECT_TRUE(slt_.ActiveBins().empty());
+  ASSERT_OK(slt_.AppendToActivePage(b0, testing::FilledBytes(4, 1)));
+  EXPECT_EQ(slt_.ActiveBins(), std::vector<uint32_t>{b0});
+}
+
+class LogDiskTest : public ::testing::Test {
+ protected:
+  LogDiskTest()
+      : disks_("log", sim::DiskParams{.page_size_bytes = 1024}),
+        writer_(LogDiskWriter::Config{1024, 100, 4}, &disks_) {}
+
+  PartitionBin MakeBin(PartitionId pid) {
+    PartitionBin b;
+    b.in_use = true;
+    b.partition = pid;
+    return b;
+  }
+
+  void FillActive(PartitionBin* bin, uint64_t txn, int n_records) {
+    for (int i = 0; i < n_records; ++i) {
+      LogRecord r = MakeInsert(txn, bin->partition, 0, i, {});
+      std::vector<uint8_t> bytes;
+      r.AppendTo(&bytes);
+      bin->active_page.insert(bin->active_page.end(), bytes.begin(),
+                              bytes.end());
+      ++bin->active_records;
+    }
+  }
+
+  sim::DuplexedDisk disks_;
+  LogDiskWriter writer_;
+};
+
+TEST_F(LogDiskTest, FlushAndReadBack) {
+  PartitionBin bin = MakeBin({1, 0});
+  FillActive(&bin, 42, 3);
+  uint64_t done = 0;
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn, writer_.FlushBinPage(&bin, 4, 0, &done));
+  EXPECT_EQ(lsn, 0u);
+  EXPECT_EQ(bin.first_page_lsn, 0u);
+  EXPECT_EQ(bin.last_page_lsn, 0u);
+  EXPECT_EQ(bin.active_records, 0u);
+  EXPECT_EQ(bin.directory, std::vector<uint64_t>{0});
+
+  ParsedLogPage page;
+  ASSERT_OK(writer_.ReadPage(0, done, sim::SeekClass::kNear, &page, &done));
+  EXPECT_EQ(page.partition, (PartitionId{1, 0}));
+  std::vector<LogRecord> records;
+  ASSERT_OK(ParseLogStream(page.payload, &records));
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].txn_id, 42u);
+  EXPECT_TRUE(page.directory.empty());
+  EXPECT_EQ(page.prev_lsn, kNoLsn);
+}
+
+TEST_F(LogDiskTest, FlushOfEmptyBinRejected) {
+  PartitionBin bin = MakeBin({1, 0});
+  uint64_t done;
+  EXPECT_TRUE(
+      writer_.FlushBinPage(&bin, 4, 0, &done).status().IsInvalidArgument());
+}
+
+TEST_F(LogDiskTest, AnchorPagesEmbedDirectoryEveryNth) {
+  PartitionBin bin = MakeBin({2, 3});
+  uint64_t done = 0;
+  // Directory capacity 2: pages 0,1 plain; page 2 is an anchor embedding
+  // [0,1]; pages 3 plain; page 4 anchors [2,3].
+  for (int i = 0; i < 5; ++i) {
+    FillActive(&bin, 1, 1);
+    ASSERT_OK(writer_.FlushBinPage(&bin, 2, done, &done).status());
+  }
+  EXPECT_EQ(bin.pages_since_checkpoint, 5u);
+  EXPECT_EQ(bin.last_anchor_lsn, 4u);
+  EXPECT_EQ(bin.directory, std::vector<uint64_t>{4});
+
+  ParsedLogPage page;
+  ASSERT_OK(writer_.ReadPage(2, done, sim::SeekClass::kNear, &page, &done));
+  EXPECT_EQ(page.directory, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(page.prev_anchor_lsn, kNoLsn);
+  ASSERT_OK(writer_.ReadPage(4, done, sim::SeekClass::kNear, &page, &done));
+  EXPECT_EQ(page.directory, (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(page.prev_anchor_lsn, 2u);
+  ASSERT_OK(writer_.ReadPage(3, done, sim::SeekClass::kNear, &page, &done));
+  EXPECT_TRUE(page.directory.empty());
+  EXPECT_EQ(page.prev_lsn, 2u);
+}
+
+TEST_F(LogDiskTest, WindowAndAgeBoundaryAdvance) {
+  EXPECT_EQ(writer_.window_start(), 0u);
+  // Young log: nothing is near falling off the window yet.
+  EXPECT_EQ(writer_.age_boundary(), 0u);
+  PartitionBin bin = MakeBin({1, 0});
+  uint64_t done = 0;
+  for (int i = 0; i < 150; ++i) {
+    FillActive(&bin, 1, 1);
+    ASSERT_OK(writer_.FlushBinPage(&bin, 8, done, &done).status());
+  }
+  EXPECT_EQ(writer_.next_lsn(), 150u);
+  EXPECT_EQ(writer_.window_start(), 50u);
+  EXPECT_EQ(writer_.age_boundary(), 54u);
+}
+
+TEST_F(LogDiskTest, ArchivePagesTagged) {
+  LogRecord r = MakeInsert(1, {5, 5}, 0, 0, {});
+  std::vector<uint8_t> bytes;
+  r.AppendTo(&bytes);
+  uint64_t done = 0;
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn, writer_.WriteArchivePage(bytes, 0, &done));
+  ParsedLogPage page;
+  ASSERT_OK(writer_.ReadPage(lsn, done, sim::SeekClass::kNear, &page, &done));
+  EXPECT_EQ(page.partition.Pack(), kArchiveCombinedTag);
+  std::vector<LogRecord> records;
+  ASSERT_OK(ParseLogStream(page.payload, &records));
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST_F(LogDiskTest, LargeRecordSpansPages) {
+  // A record bigger than one page: the stream splits across pages and
+  // reassembles on read.
+  PartitionBin bin = MakeBin({3, 0});
+  LogRecord big = MakeInsert(9, {3, 0}, 0, 0, testing::FilledBytes(2500, 7));
+  std::vector<uint8_t> bytes;
+  big.AppendTo(&bytes);
+  bin.active_page = bytes;
+  bin.active_records = 1;
+  uint64_t done = 0;
+  uint32_t cap = writer_.PagePayloadCapacity(0);
+  ASSERT_LT(cap, bytes.size());
+  ASSERT_OK(writer_.FlushBinPage(&bin, 8, 0, &done).status());
+  // Remainder stays in the active page.
+  EXPECT_EQ(bin.active_page.size(), bytes.size() - cap);
+  ParsedLogPage page;
+  ASSERT_OK(writer_.ReadPage(0, done, sim::SeekClass::kNear, &page, &done));
+  std::vector<uint8_t> stream = page.payload;
+  stream.insert(stream.end(), bin.active_page.begin(), bin.active_page.end());
+  std::vector<LogRecord> records;
+  ASSERT_OK(ParseLogStream(stream, &records));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].data, testing::FilledBytes(2500, 7));
+}
+
+TEST_F(LogDiskTest, CorruptPageDetected) {
+  PartitionBin bin = MakeBin({1, 0});
+  FillActive(&bin, 1, 2);
+  uint64_t done = 0;
+  ASSERT_OK(writer_.FlushBinPage(&bin, 4, 0, &done).status());
+  // Corrupt the stored page on both mirrors.
+  std::vector<uint8_t> raw;
+  ASSERT_OK(disks_.primary().ReadPage(0, 0, sim::SeekClass::kNear, &raw, &done));
+  raw[raw.size() - 1] ^= 0xFF;
+  disks_.primary().WritePage(0, raw, 0, sim::SeekClass::kNear);
+  disks_.mirror().WritePage(0, raw, 0, sim::SeekClass::kNear);
+  ParsedLogPage page;
+  EXPECT_TRUE(writer_.ReadPage(0, 0, sim::SeekClass::kNear, &page, &done)
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace mmdb

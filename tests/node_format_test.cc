@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "index/node_format.h"
+#include "test_util.h"
+
+namespace mmdb::node {
+namespace {
+
+Entry E(int64_t k, uint32_t slot) { return Entry{k, {{9, 1}, slot}}; }
+
+TEST(NodeFormatTest, TTreeSerializeParseRoundTrip) {
+  TTreeNode n;
+  n.capacity = 6;
+  n.height = 3;
+  n.left = {{1, 2}, 3};
+  n.right = {{4, 5}, 6};
+  n.entries = {E(-5, 0), E(0, 1), E(7, 2)};
+  auto bytes = n.Serialize();
+  // Fixed full-capacity size.
+  EXPECT_EQ(bytes.size(), kTTreeHeaderSize + 6 * kEntrySize);
+  ASSERT_OK_AND_ASSIGN(TTreeNode back, TTreeNode::Parse(bytes));
+  EXPECT_EQ(back.capacity, n.capacity);
+  EXPECT_EQ(back.height, n.height);
+  EXPECT_EQ(back.left, n.left);
+  EXPECT_EQ(back.right, n.right);
+  EXPECT_EQ(back.entries, n.entries);
+}
+
+TEST(NodeFormatTest, HashSerializeParseRoundTrip) {
+  HashNode n;
+  n.capacity = 4;
+  n.next = {{7, 8}, 9};
+  n.entries = {E(1, 0), E(1, 1)};
+  auto bytes = n.Serialize();
+  EXPECT_EQ(bytes.size(), kHashHeaderSize + 4 * kEntrySize);
+  ASSERT_OK_AND_ASSIGN(HashNode back, HashNode::Parse(bytes));
+  EXPECT_EQ(back.next, n.next);
+  EXPECT_EQ(back.entries, n.entries);
+}
+
+TEST(NodeFormatTest, SerializedSizeIsCapacityInvariant) {
+  // The whole point of padding: adding entries never changes the size.
+  TTreeNode n;
+  n.capacity = 8;
+  auto empty_size = TTreeNode{{}, {}, 1, 8, {}}.Serialize().size();
+  for (int i = 0; i < 8; ++i) {
+    n.entries.push_back(E(i, i));
+    EXPECT_EQ(n.Serialize().size(), empty_size);
+  }
+}
+
+TEST(NodeFormatTest, KindDetection) {
+  TTreeNode t;
+  t.capacity = 2;
+  HashNode h;
+  h.capacity = 2;
+  auto meta = SerializeMeta(testing::Bytes({1, 2, 3}));
+  ASSERT_OK_AND_ASSIGN(NodeKind kt, KindOf(t.Serialize()));
+  ASSERT_OK_AND_ASSIGN(NodeKind kh, KindOf(h.Serialize()));
+  ASSERT_OK_AND_ASSIGN(NodeKind km, KindOf(meta));
+  EXPECT_EQ(kt, NodeKind::kTTree);
+  EXPECT_EQ(kh, NodeKind::kHashBucket);
+  EXPECT_EQ(km, NodeKind::kMeta);
+  EXPECT_TRUE(KindOf({}).status().IsCorruption());
+  EXPECT_TRUE(KindOf(testing::Bytes({99})).status().IsCorruption());
+  // Cross-parsing is rejected.
+  EXPECT_TRUE(TTreeNode::Parse(h.Serialize()).status().IsCorruption());
+  EXPECT_TRUE(HashNode::Parse(t.Serialize()).status().IsCorruption());
+}
+
+TEST(NodeFormatTest, MetaPayloadRoundTrip) {
+  auto payload = testing::FilledBytes(100, 3);
+  auto meta = SerializeMeta(payload);
+  ASSERT_OK_AND_ASSIGN(auto back, ParseMeta(meta));
+  EXPECT_EQ(back, payload);
+  EXPECT_TRUE(ParseMeta(testing::Bytes({1})).status().IsCorruption());
+}
+
+TEST(NodeFormatTest, InsertEntryKeepsTTreeSorted) {
+  TTreeNode n;
+  n.capacity = 5;
+  auto bytes = n.Serialize();
+  for (int64_t k : {5, 1, 9, 3, 7}) {
+    ASSERT_OK(InsertEntry(&bytes, E(k, static_cast<uint32_t>(k))));
+  }
+  ASSERT_OK_AND_ASSIGN(TTreeNode back, TTreeNode::Parse(bytes));
+  ASSERT_EQ(back.entries.size(), 5u);
+  for (size_t i = 1; i < back.entries.size(); ++i) {
+    EXPECT_LT(back.entries[i - 1].key, back.entries[i].key);
+  }
+  // Full node rejects further inserts.
+  EXPECT_TRUE(InsertEntry(&bytes, E(100, 100)).IsFull());
+}
+
+TEST(NodeFormatTest, DuplicateKeysOrderedByValue) {
+  TTreeNode n;
+  n.capacity = 4;
+  auto bytes = n.Serialize();
+  ASSERT_OK(InsertEntry(&bytes, E(5, 30)));
+  ASSERT_OK(InsertEntry(&bytes, E(5, 10)));
+  ASSERT_OK(InsertEntry(&bytes, E(5, 20)));
+  ASSERT_OK_AND_ASSIGN(TTreeNode back, TTreeNode::Parse(bytes));
+  EXPECT_EQ(back.entries[0].value.slot, 10u);
+  EXPECT_EQ(back.entries[1].value.slot, 20u);
+  EXPECT_EQ(back.entries[2].value.slot, 30u);
+}
+
+TEST(NodeFormatTest, RemoveEntryExactMatchOnly) {
+  HashNode n;
+  n.capacity = 4;
+  auto bytes = n.Serialize();
+  ASSERT_OK(InsertEntry(&bytes, E(1, 1)));
+  ASSERT_OK(InsertEntry(&bytes, E(1, 2)));
+  EXPECT_TRUE(RemoveEntry(&bytes, E(1, 3)).IsNotFound());
+  ASSERT_OK(RemoveEntry(&bytes, E(1, 1)));
+  ASSERT_OK_AND_ASSIGN(HashNode back, HashNode::Parse(bytes));
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_EQ(back.entries[0].value.slot, 2u);
+}
+
+TEST(NodeFormatTest, EntryOpsOnMetaRejected) {
+  auto meta = SerializeMeta(testing::Bytes({1}));
+  EXPECT_TRUE(InsertEntry(&meta, E(1, 1)).IsInvalidArgument());
+  EXPECT_TRUE(RemoveEntry(&meta, E(1, 1)).IsInvalidArgument());
+}
+
+TEST(NodeFormatTest, AddrRoundTrip) {
+  std::vector<uint8_t> buf;
+  EntityAddr a{{0xDEADBEEF, 42}, 7};
+  PutAddr(&buf, a);
+  EntityAddr back;
+  ASSERT_TRUE(GetAddr(buf, 0, &back));
+  EXPECT_EQ(back, a);
+  EXPECT_FALSE(GetAddr(buf, 1, &back));  // out of bounds
+}
+
+}  // namespace
+}  // namespace mmdb::node

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/database.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+Schema AccountSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"balance", ColumnType::kInt64},
+                 {"owner", ColumnType::kString}});
+}
+
+Tuple Account(int64_t id, int64_t balance, const std::string& owner) {
+  return Tuple{id, balance, owner};
+}
+
+DatabaseOptions SmallOptions() {
+  DatabaseOptions o;
+  o.partition_size_bytes = 16 * 1024;
+  o.log_page_bytes = 2 * 1024;
+  o.n_update = 100;
+  return o;
+}
+
+// Reads all rows of `rel` into an id -> tuple map.
+std::map<int64_t, Tuple> Snapshot(Database* db, const std::string& rel) {
+  auto txn = db->Begin();
+  EXPECT_TRUE(txn.ok());
+  auto rows = db->Scan(txn.value(), rel);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  std::map<int64_t, Tuple> out;
+  for (auto& [addr, tuple] : rows.value()) {
+    out[std::get<int64_t>(tuple[0])] = tuple;
+  }
+  EXPECT_TRUE(db->Commit(txn.value()).ok());
+  return out;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : db_(SmallOptions()) {}
+
+  Transaction* MustBegin() {
+    auto t = db_.Begin();
+    EXPECT_TRUE(t.ok());
+    return t.value();
+  }
+
+  void InsertAccounts(const std::string& rel, int from, int to) {
+    Transaction* t = MustBegin();
+    for (int i = from; i < to; ++i) {
+      ASSERT_OK(db_.Insert(t, rel, Account(i, i * 10, "u")).status());
+    }
+    ASSERT_OK(db_.Commit(t));
+  }
+
+  Database db_;
+};
+
+TEST_F(RecoveryTest, CrashWithoutAnyCheckpointRecoversFromLogAlone) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 100);
+  auto before = Snapshot(&db_, "acct");
+
+  db_.Crash();
+  // The database refuses work until restarted.
+  EXPECT_TRUE(db_.Begin().status().IsInvalidArgument());
+  ASSERT_OK(db_.Restart());
+
+  auto after = Snapshot(&db_, "acct");
+  EXPECT_EQ(after, before);
+}
+
+TEST_F(RecoveryTest, CrashAfterCheckpointsRecoversImagePlusLog) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 200);
+  ASSERT_OK(db_.CheckpointEverything());
+  // Post-checkpoint mutations live only in the log.
+  InsertAccounts("acct", 200, 260);
+  Transaction* t = MustBegin();
+  ASSERT_OK_AND_ASSIGN(auto hits, db_.Scan(t, "acct"));
+  EntityAddr victim = hits[5].first;
+  ASSERT_OK(db_.Delete(t, "acct", victim));
+  ASSERT_OK(db_.Commit(t));
+  auto before = Snapshot(&db_, "acct");
+  ASSERT_EQ(before.size(), 259u);
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+TEST_F(RecoveryTest, UncommittedWorkIsNotRecovered) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 10);
+  auto committed = Snapshot(&db_, "acct");
+
+  // In-flight transaction at crash time: all its effects must vanish.
+  Transaction* t = MustBegin();
+  ASSERT_OK(db_.Insert(t, "acct", Account(999, 1, "ghost")).status());
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), committed);
+}
+
+TEST_F(RecoveryTest, AbortedTransactionStaysAborted) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 10);
+  Transaction* t = MustBegin();
+  ASSERT_OK(db_.Insert(t, "acct", Account(500, 5, "gone")).status());
+  ASSERT_OK(db_.Abort(t));
+  auto before = Snapshot(&db_, "acct");
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+TEST_F(RecoveryTest, OnDemandRecoveryRestoresLazily) {
+  ASSERT_OK(db_.CreateRelation("hot", AccountSchema()));
+  ASSERT_OK(db_.CreateRelation("cold", AccountSchema()));
+  InsertAccounts("hot", 0, 150);
+  InsertAccounts("cold", 0, 150);
+  auto hot_before = Snapshot(&db_, "hot");
+  auto cold_before = Snapshot(&db_, "cold");
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  // Catalogs recovered; data partitions are not yet resident.
+  EXPECT_FALSE(db_.FullyResident());
+  EXPECT_FALSE(db_.IsRelationResident("hot"));
+
+  // Touching "hot" recovers its partitions on demand; "cold" stays cold.
+  EXPECT_EQ(Snapshot(&db_, "hot"), hot_before);
+  EXPECT_TRUE(db_.IsRelationResident("hot"));
+  EXPECT_FALSE(db_.IsRelationResident("cold"));
+  EXPECT_GT(db_.GetStats().on_demand_recoveries, 0u);
+
+  // Background recovery finishes the rest.
+  bool done = false;
+  int steps = 0;
+  while (!done) {
+    ASSERT_OK(db_.BackgroundRecoveryStep(&done));
+    ASSERT_LT(++steps, 1000);
+  }
+  EXPECT_TRUE(db_.FullyResident());
+  EXPECT_EQ(Snapshot(&db_, "cold"), cold_before);
+}
+
+TEST_F(RecoveryTest, PredeclaredRecoveryRestoresWholeRelation) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  ASSERT_OK(db_.CreateIndex("acct_id", "acct", "id", IndexType::kTTree));
+  InsertAccounts("acct", 0, 100);
+  auto before = Snapshot(&db_, "acct");
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  ASSERT_OK(db_.RecoverRelation("acct"));
+  EXPECT_TRUE(db_.IsRelationResident("acct"));
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+TEST_F(RecoveryTest, FullReloadPolicyRecoversEverythingAtRestart) {
+  DatabaseOptions o = SmallOptions();
+  o.restart_policy = RestartPolicy::kFullReload;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("acct", AccountSchema()));
+  auto t = db.Begin();
+  ASSERT_OK(t.status());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db.Insert(t.value(), "acct", Account(i, i, "u")).status());
+  }
+  ASSERT_OK(db.Commit(t.value()));
+  auto before = Snapshot(&db, "acct");
+
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  EXPECT_TRUE(db.FullyResident());
+  EXPECT_EQ(db.GetStats().on_demand_recoveries, 0u);
+  EXPECT_EQ(Snapshot(&db, "acct"), before);
+  // Full reload takes at least as long as the catalog phase alone.
+  EXPECT_GE(db.last_restart().total_ms, db.last_restart().catalog_ms);
+}
+
+TEST_F(RecoveryTest, IndexesRecoverAndStayConsistent) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  ASSERT_OK(db_.CreateIndex("by_bal", "acct", "balance", IndexType::kTTree));
+  ASSERT_OK(db_.CreateIndex("by_id", "acct", "id", IndexType::kLinearHash));
+  InsertAccounts("acct", 0, 120);
+  Transaction* t = MustBegin();
+  ASSERT_OK_AND_ASSIGN(auto addrs, db_.IndexLookup(t, "by_id", 60));
+  ASSERT_EQ(addrs.size(), 1u);
+  ASSERT_OK(db_.Update(t, "acct", addrs[0], Account(60, 777, "u")));
+  ASSERT_OK(db_.Commit(t));
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+
+  t = MustBegin();
+  ASSERT_OK_AND_ASSIGN(auto hits, db_.IndexLookup(t, "by_bal", 777));
+  ASSERT_EQ(hits.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(Tuple tuple, db_.Read(t, "acct", hits[0]));
+  EXPECT_EQ(std::get<int64_t>(tuple[0]), 60);
+  ASSERT_OK_AND_ASSIGN(auto by_id, db_.IndexLookup(t, "by_id", 60));
+  ASSERT_EQ(by_id.size(), 1u);
+  EXPECT_EQ(by_id[0], hits[0]);
+  // The old key must be gone from the T-Tree.
+  ASSERT_OK_AND_ASSIGN(auto old_key, db_.IndexLookup(t, "by_bal", 600));
+  EXPECT_TRUE(old_key.empty());
+  ASSERT_OK(db_.Commit(t));
+}
+
+TEST_F(RecoveryTest, RepeatedCrashRestartCycles) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  std::map<int64_t, Tuple> expect;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    InsertAccounts("acct", cycle * 20, cycle * 20 + 20);
+    if (cycle % 2 == 0) ASSERT_OK(db_.CheckpointEverything());
+    auto before = Snapshot(&db_, "acct");
+    db_.Crash();
+    ASSERT_OK(db_.Restart());
+    EXPECT_EQ(Snapshot(&db_, "acct"), before) << "cycle " << cycle;
+  }
+  EXPECT_EQ(Snapshot(&db_, "acct").size(), 100u);
+}
+
+TEST_F(RecoveryTest, WritesAfterRecoveryAreDurable) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 50);
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  InsertAccounts("acct", 50, 80);
+  auto before = Snapshot(&db_, "acct");
+  ASSERT_EQ(before.size(), 80u);
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+TEST_F(RecoveryTest, AgeCheckpointsTriggerWithTinyLogWindow) {
+  DatabaseOptions o = SmallOptions();
+  o.log_window_pages = 24;
+  o.grace_pages = 8;
+  o.n_update = 1000000;  // update-count trigger effectively off
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("a", AccountSchema()));
+  ASSERT_OK(db.CreateRelation("b", AccountSchema()));
+  // Interleave: "a" gets lots of traffic, "b" trickles, so b's pages age
+  // out of the window.
+  for (int round = 0; round < 60; ++round) {
+    auto t = db.Begin();
+    ASSERT_OK(t.status());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(
+          db.Insert(t.value(), "a", Account(round * 100 + i, 0, "hot"))
+              .status());
+    }
+    ASSERT_OK(db.Insert(t.value(), "b", Account(round, 0, "cool")).status());
+    ASSERT_OK(db.Commit(t.value()));
+  }
+  auto stats = db.GetStats();
+  EXPECT_GT(stats.checkpoints_age, 0u);
+  EXPECT_GT(stats.checkpoints_completed, 0u);
+  // Data still correct afterwards.
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  EXPECT_EQ(Snapshot(&db, "b").size(), 60u);
+  EXPECT_EQ(Snapshot(&db, "a").size(), 1200u);
+}
+
+TEST_F(RecoveryTest, MediaFailureRecoveredFromArchive) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 120);
+  ASSERT_OK(db_.CheckpointEverything());
+  InsertAccounts("acct", 120, 150);
+  auto before = Snapshot(&db_, "acct");
+
+  // Checkpoint disk dies and is rebuilt from the archive; then a crash
+  // exercises the restored images.
+  ASSERT_OK(db_.FailAndRecoverCheckpointDisk());
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+TEST_F(RecoveryTest, RestartReportsTimings) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 200);
+  ASSERT_OK(db_.CheckpointEverything());
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  const RestartReport& r = db_.last_restart();
+  EXPECT_GT(r.catalog_partitions, 0u);
+  EXPECT_GT(r.catalog_ms, 0.0);
+  EXPECT_GE(r.total_ms, r.catalog_ms);
+}
+
+TEST_F(RecoveryTest, RestartWithoutCrashRejected) {
+  EXPECT_TRUE(db_.Restart().IsInvalidArgument());
+}
+
+TEST_F(RecoveryTest, CrashOnEmptyDatabaseRestartsClean) {
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 5);
+  EXPECT_EQ(Snapshot(&db_, "acct").size(), 5u);
+}
+
+TEST_F(RecoveryTest, DmlBeforeRestartRejected) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  db_.Crash();
+  EXPECT_TRUE(db_.CreateRelation("x", AccountSchema()).IsInvalidArgument());
+  EXPECT_TRUE(db_.Begin().status().IsInvalidArgument());
+  ASSERT_OK(db_.Restart());
+}
+
+TEST_F(RecoveryTest, TransactionIdsNeverReusedAcrossCrash) {
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  InsertAccounts("acct", 0, 5);
+  uint64_t max_before = db_.slb().max_txn_id();
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  Transaction* t = MustBegin();
+  EXPECT_GT(t->id(), max_before);
+  ASSERT_OK(db_.Commit(t));
+}
+
+TEST_F(RecoveryTest, LotsOfPartitionsRecoverCorrectly) {
+  // Big enough to span many partitions and exercise the log page
+  // directory's anchor walk (directory_entries defaults to 8).
+  ASSERT_OK(db_.CreateRelation("acct", AccountSchema()));
+  for (int batch = 0; batch < 20; ++batch) {
+    InsertAccounts("acct", batch * 100, batch * 100 + 100);
+  }
+  auto before = Snapshot(&db_, "acct");
+  ASSERT_EQ(before.size(), 2000u);
+  ASSERT_OK_AND_ASSIGN(auto* rel, db_.catalog().GetRelation("acct"));
+  EXPECT_GT(rel->partitions.size(), 3u);
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  EXPECT_EQ(Snapshot(&db_, "acct"), before);
+}
+
+}  // namespace
+}  // namespace mmdb

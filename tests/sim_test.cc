@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/stable_memory.h"
+#include "test_util.h"
+
+namespace mmdb::sim {
+namespace {
+
+TEST(SimClockTest, AdvanceAndAdvanceTo) {
+  SimClock c;
+  EXPECT_EQ(c.now_ns(), 0u);
+  c.Advance(100);
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(50);  // never goes back
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(300);
+  EXPECT_EQ(c.now_ns(), 300u);
+  EXPECT_DOUBLE_EQ(c.now_seconds(), 3e-7);
+}
+
+TEST(CpuModelTest, OneMipsMeansOneMicrosecondPerInstruction) {
+  CpuModel cpu("recovery", 1.0);
+  cpu.Execute(1000);
+  EXPECT_EQ(cpu.busy_until_ns(), 1000000u);  // 1000 us
+  EXPECT_DOUBLE_EQ(cpu.total_instructions(), 1000.0);
+}
+
+TEST(CpuModelTest, SixMipsIsSixTimesFaster) {
+  CpuModel fast("main", 6.0);
+  CpuModel slow("recovery", 1.0);
+  fast.Execute(6000);
+  slow.Execute(1000);
+  EXPECT_EQ(fast.busy_until_ns(), slow.busy_until_ns());
+}
+
+TEST(CpuModelTest, IdleUntilMovesForwardOnly) {
+  CpuModel cpu("main", 1.0);
+  cpu.Execute(10);
+  uint64_t t = cpu.busy_until_ns();
+  cpu.IdleUntil(t / 2);
+  EXPECT_EQ(cpu.busy_until_ns(), t);
+  cpu.IdleUntil(t + 500);
+  EXPECT_EQ(cpu.busy_until_ns(), t + 500);
+}
+
+TEST(DiskTest, WriteThenReadRoundTrips) {
+  Disk d("d", DiskParams{});
+  auto data = testing::FilledBytes(4096, 3);
+  uint64_t done = d.WritePage(7, data, 0, SeekClass::kRandom);
+  EXPECT_GT(done, 0u);
+  std::vector<uint8_t> out;
+  uint64_t rdone = 0;
+  ASSERT_OK(d.ReadPage(7, done, SeekClass::kRandom, &out, &rdone));
+  EXPECT_EQ(out, data);
+  EXPECT_GT(rdone, done);
+}
+
+TEST(DiskTest, ReadOfUnwrittenPageFails) {
+  Disk d("d", DiskParams{});
+  std::vector<uint8_t> out;
+  uint64_t done;
+  EXPECT_TRUE(d.ReadPage(99, 0, SeekClass::kRandom, &out, &done).IsNotFound());
+}
+
+TEST(DiskTest, SequentialWritesAreCheaperThanRandom) {
+  DiskParams p;
+  Disk seq("s", p), rnd("r", p);
+  auto data = testing::FilledBytes(1024, 1);
+  uint64_t t_seq = 0, t_rnd = 0;
+  for (int i = 0; i < 10; ++i) {
+    t_seq = seq.WritePage(i, data, t_seq, SeekClass::kSequential);
+    t_rnd = rnd.WritePage(i, data, t_rnd, SeekClass::kRandom);
+  }
+  EXPECT_LT(t_seq, t_rnd);
+  EXPECT_EQ(seq.seeks(), 0u);
+  EXPECT_EQ(rnd.seeks(), 10u);
+}
+
+TEST(DiskTest, TrackWriteFasterThanPagewise) {
+  DiskParams p;
+  Disk track("t", p), pages("p", p);
+  std::vector<std::vector<uint8_t>> six(6, testing::FilledBytes(8192, 2));
+  uint64_t t_track = track.WriteTrack(0, six, 0, SeekClass::kRandom);
+  uint64_t t_pages = 0;
+  for (int i = 0; i < 6; ++i) {
+    t_pages = pages.WritePage(i, six[i], t_pages, SeekClass::kRandom);
+  }
+  EXPECT_LT(t_track, t_pages);
+  EXPECT_EQ(track.pages_written(), 6u);
+  EXPECT_EQ(track.tracks_written(), 1u);
+}
+
+TEST(DiskTest, RequestsSerializeOnBusyTimeline) {
+  Disk d("d", DiskParams{});
+  auto data = testing::FilledBytes(64, 9);
+  uint64_t first = d.WritePage(0, data, 0, SeekClass::kRandom);
+  // Submitting "in the past" still queues behind the first request.
+  uint64_t second = d.WritePage(1, data, 0, SeekClass::kRandom);
+  EXPECT_GT(second, first);
+}
+
+TEST(DiskTest, MediaFailureDropsDataUntilRepaired) {
+  Disk d("d", DiskParams{});
+  d.WritePage(1, testing::FilledBytes(16, 1), 0, SeekClass::kRandom);
+  d.FailMedia();
+  std::vector<uint8_t> out;
+  uint64_t done;
+  EXPECT_TRUE(d.ReadPage(1, 0, SeekClass::kRandom, &out, &done).IsIOError());
+  d.RepairMedia();
+  // Data is gone (media failure), but the disk serves again.
+  EXPECT_TRUE(d.ReadPage(1, 0, SeekClass::kRandom, &out, &done).IsNotFound());
+  d.WritePage(1, testing::FilledBytes(16, 2), 0, SeekClass::kRandom);
+  ASSERT_OK(d.ReadPage(1, 0, SeekClass::kRandom, &out, &done));
+}
+
+TEST(DiskTest, ReadTrackReturnsAllPages) {
+  Disk d("d", DiskParams{});
+  std::vector<std::vector<uint8_t>> pages;
+  for (int i = 0; i < 6; ++i) pages.push_back(testing::FilledBytes(128, i));
+  d.WriteTrack(10, pages, 0, SeekClass::kNear);
+  std::vector<std::vector<uint8_t>> out;
+  uint64_t done;
+  ASSERT_OK(d.ReadTrack(10, 6, 0, SeekClass::kNear, &out, &done));
+  EXPECT_EQ(out, pages);
+}
+
+TEST(DuplexedDiskTest, WritesGoToBothMembers) {
+  DuplexedDisk d("log", DiskParams{});
+  auto data = testing::FilledBytes(32, 5);
+  d.WritePage(3, data, 0, SeekClass::kSequential);
+  EXPECT_TRUE(d.primary().Contains(3));
+  EXPECT_TRUE(d.mirror().Contains(3));
+}
+
+TEST(DuplexedDiskTest, MirrorServesAfterPrimaryFailure) {
+  DuplexedDisk d("log", DiskParams{});
+  auto data = testing::FilledBytes(32, 5);
+  d.WritePage(3, data, 0, SeekClass::kSequential);
+  d.primary().FailMedia();
+  std::vector<uint8_t> out;
+  uint64_t done;
+  ASSERT_OK(d.ReadPage(3, 0, SeekClass::kSequential, &out, &done));
+  EXPECT_EQ(out, data);
+}
+
+TEST(StableMemoryMeterTest, CapacityEnforcement) {
+  StableMemoryMeter m(1000);
+  EXPECT_TRUE(m.CanAllocate(1000));
+  m.Allocate(900);
+  EXPECT_TRUE(m.CanAllocate(100));
+  EXPECT_FALSE(m.CanAllocate(101));
+  m.Release(400);
+  EXPECT_TRUE(m.CanAllocate(500));
+  EXPECT_EQ(m.allocated_bytes(), 500u);
+}
+
+TEST(StableMemoryMeterTest, SlowdownPenalty) {
+  StableMemoryMeter m(1 << 20, 4.0);
+  // 8 bytes = one word; (4-1) extra references at 1000 ns each.
+  EXPECT_DOUBLE_EQ(m.ChargeWrite(8), 3000.0);
+  EXPECT_DOUBLE_EQ(m.ChargeRead(16), 6000.0);
+  EXPECT_EQ(m.bytes_written(), 8u);
+  EXPECT_EQ(m.bytes_read(), 16u);
+}
+
+TEST(StableMemoryMeterTest, HighWaterTracksPeak) {
+  StableMemoryMeter m(1000);
+  m.Allocate(700);
+  m.NoteHighWater();
+  m.Release(600);
+  m.Allocate(100);
+  m.NoteHighWater();
+  EXPECT_EQ(m.high_water_bytes(), 700u);
+}
+
+}  // namespace
+}  // namespace mmdb::sim

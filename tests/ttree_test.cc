@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "index/ttree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+using testing::PlainEntityStore;
+
+EntityAddr Addr(uint32_t n) { return EntityAddr{{100, 0}, n}; }
+
+class TTreeTest : public ::testing::Test {
+ protected:
+  TTreeTest() : seg_(store_.NewSegment()) {}
+
+  TTree Make(uint16_t capacity = 4) {
+    auto t = TTree::Create(store_, seg_, capacity);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.value();
+  }
+
+  PlainEntityStore store_;
+  SegmentId seg_;
+};
+
+TEST_F(TTreeTest, CreateRejectsTinyCapacity) {
+  EXPECT_TRUE(TTree::Create(store_, seg_, 1).status().IsInvalidArgument());
+}
+
+TEST_F(TTreeTest, EmptyTreeBehaviour) {
+  TTree t = Make();
+  ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, 5));
+  EXPECT_TRUE(vals.empty());
+  EXPECT_TRUE(t.Remove(store_, 5, Addr(0)).IsNotFound());
+  ASSERT_OK_AND_ASSIGN(size_t n, t.Size(store_));
+  EXPECT_EQ(n, 0u);
+  ASSERT_OK(t.CheckInvariants(store_));
+}
+
+TEST_F(TTreeTest, InsertLookupSingle) {
+  TTree t = Make();
+  ASSERT_OK(t.Insert(store_, 10, Addr(1)));
+  ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, 10));
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_EQ(vals[0], Addr(1));
+  ASSERT_OK_AND_ASSIGN(auto miss, t.Lookup(store_, 11));
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST_F(TTreeTest, DuplicateKeysKeepAllValues) {
+  TTree t = Make();
+  for (uint32_t i = 0; i < 10; ++i) ASSERT_OK(t.Insert(store_, 7, Addr(i)));
+  ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, 7));
+  EXPECT_EQ(vals.size(), 10u);
+  ASSERT_OK(t.Remove(store_, 7, Addr(3)));
+  ASSERT_OK_AND_ASSIGN(auto after, t.Lookup(store_, 7));
+  EXPECT_EQ(after.size(), 9u);
+  EXPECT_EQ(std::count(after.begin(), after.end(), Addr(3)), 0);
+  ASSERT_OK(t.CheckInvariants(store_));
+}
+
+TEST_F(TTreeTest, AscendingInsertionStaysBalanced) {
+  TTree t = Make();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(t.Insert(store_, i, Addr(i)));
+  }
+  ASSERT_OK(t.CheckInvariants(store_));
+  ASSERT_OK_AND_ASSIGN(size_t n, t.Size(store_));
+  EXPECT_EQ(n, 500u);
+  for (int i = 0; i < 500; i += 37) {
+    ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, i));
+    ASSERT_EQ(vals.size(), 1u);
+    EXPECT_EQ(vals[0], Addr(i));
+  }
+}
+
+TEST_F(TTreeTest, DescendingInsertionStaysBalanced) {
+  TTree t = Make();
+  for (int i = 500; i > 0; --i) ASSERT_OK(t.Insert(store_, i, Addr(i)));
+  ASSERT_OK(t.CheckInvariants(store_));
+  ASSERT_OK_AND_ASSIGN(size_t n, t.Size(store_));
+  EXPECT_EQ(n, 500u);
+}
+
+TEST_F(TTreeTest, RangeScanOrderedAndBounded) {
+  TTree t = Make();
+  for (int i = 0; i < 100; ++i) ASSERT_OK(t.Insert(store_, i * 2, Addr(i)));
+  ASSERT_OK_AND_ASSIGN(auto entries, t.Range(store_, 10, 30));
+  ASSERT_EQ(entries.size(), 11u);  // 10,12,...,30
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, 10 + static_cast<int64_t>(i) * 2);
+  }
+  ASSERT_OK_AND_ASSIGN(auto none, t.Range(store_, 201, 300));
+  EXPECT_TRUE(none.empty());
+  // Negative-range and full-range queries.
+  ASSERT_OK_AND_ASSIGN(auto all, t.Range(store_, -1000, 1000));
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST_F(TTreeTest, DeleteDownToEmpty) {
+  TTree t = Make();
+  for (int i = 0; i < 200; ++i) ASSERT_OK(t.Insert(store_, i, Addr(i)));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(t.Remove(store_, i, Addr(i)));
+    if (i % 20 == 0) ASSERT_OK(t.CheckInvariants(store_));
+  }
+  ASSERT_OK_AND_ASSIGN(size_t n, t.Size(store_));
+  EXPECT_EQ(n, 0u);
+  ASSERT_OK(t.CheckInvariants(store_));
+  // Tree usable again after emptying.
+  ASSERT_OK(t.Insert(store_, 1, Addr(1)));
+  ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, 1));
+  EXPECT_EQ(vals.size(), 1u);
+}
+
+TEST_F(TTreeTest, RemoveExactPairOnly) {
+  TTree t = Make();
+  ASSERT_OK(t.Insert(store_, 5, Addr(1)));
+  EXPECT_TRUE(t.Remove(store_, 5, Addr(2)).IsNotFound());
+  ASSERT_OK(t.Remove(store_, 5, Addr(1)));
+}
+
+TEST_F(TTreeTest, AttachSeesExistingTree) {
+  TTree t = Make();
+  for (int i = 0; i < 50; ++i) ASSERT_OK(t.Insert(store_, i, Addr(i)));
+  ASSERT_OK_AND_ASSIGN(TTree t2, TTree::Attach(store_, seg_));
+  ASSERT_OK_AND_ASSIGN(auto vals, t2.Lookup(store_, 25));
+  ASSERT_EQ(vals.size(), 1u);
+  ASSERT_OK(t2.CheckInvariants(store_));
+}
+
+TEST_F(TTreeTest, NegativeAndExtremeKeys) {
+  TTree t = Make();
+  std::vector<int64_t> keys = {std::numeric_limits<int64_t>::min(), -1, 0, 1,
+                               std::numeric_limits<int64_t>::max()};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_OK(t.Insert(store_, keys[i], Addr(static_cast<uint32_t>(i))));
+  }
+  ASSERT_OK(t.CheckInvariants(store_));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store_, keys[i]));
+    ASSERT_EQ(vals.size(), 1u);
+  }
+  ASSERT_OK_AND_ASSIGN(auto all,
+                       t.Range(store_, std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::max()));
+  EXPECT_EQ(all.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(
+      all.begin(), all.end(),
+      [](const node::Entry& a, const node::Entry& b) { return a.key < b.key; }));
+}
+
+struct TTreePropertyParam {
+  uint64_t seed;
+  uint16_t capacity;
+  int operations;
+};
+
+class TTreePropertyTest
+    : public ::testing::TestWithParam<TTreePropertyParam> {};
+
+TEST_P(TTreePropertyTest, MatchesMultimapReference) {
+  const TTreePropertyParam param = GetParam();
+  Random rng(param.seed);
+  PlainEntityStore store;
+  SegmentId seg = store.NewSegment();
+  ASSERT_OK_AND_ASSIGN(TTree t, TTree::Create(store, seg, param.capacity));
+  std::multimap<int64_t, EntityAddr> model;
+  uint32_t next_addr = 0;
+
+  for (int step = 0; step < param.operations; ++step) {
+    int64_t key = rng.UniformRange(-50, 50);
+    if (model.empty() || rng.Bernoulli(0.6)) {
+      EntityAddr a = Addr(next_addr++);
+      ASSERT_OK(t.Insert(store, key, a));
+      model.emplace(key, a);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_OK(t.Remove(store, it->first, it->second));
+      model.erase(it);
+    }
+    if (step % 100 == 99) {
+      ASSERT_OK(t.CheckInvariants(store));
+      ASSERT_OK_AND_ASSIGN(size_t n, t.Size(store));
+      ASSERT_EQ(n, model.size());
+      // Spot-check a few keys.
+      for (int64_t k = -50; k <= 50; k += 17) {
+        ASSERT_OK_AND_ASSIGN(auto vals, t.Lookup(store, k));
+        ASSERT_EQ(vals.size(), model.count(k)) << "key " << k;
+      }
+    }
+  }
+  // Full verification at the end via range scan.
+  ASSERT_OK_AND_ASSIGN(auto all, t.Range(store, -100, 100));
+  ASSERT_EQ(all.size(), model.size());
+  auto it = model.begin();
+  for (const node::Entry& e : all) {
+    ASSERT_EQ(e.key, it->first);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TTreePropertyTest,
+    ::testing::Values(TTreePropertyParam{1, 2, 1500},
+                      TTreePropertyParam{2, 4, 1500},
+                      TTreePropertyParam{3, 10, 2000},
+                      TTreePropertyParam{4, 31, 2000},
+                      TTreePropertyParam{5, 4, 3000},
+                      TTreePropertyParam{6, 8, 2500}));
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "log/log_record.h"
+#include "test_util.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "txn/undo_space.h"
+
+namespace mmdb {
+namespace {
+
+LockResource Rel(uint32_t id) { return LockResource::Relation(id); }
+LockResource Ent(uint32_t slot) {
+  return LockResource::Entity(EntityAddr{{1, 0}, slot});
+}
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kS));
+  ASSERT_OK(lm.Acquire(2, Ent(0), LockMode::kS));
+  EXPECT_TRUE(lm.Holds(1, Ent(0), LockMode::kS));
+  EXPECT_TRUE(lm.Holds(2, Ent(0), LockMode::kS));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  EXPECT_TRUE(lm.Acquire(2, Ent(0), LockMode::kS).IsBusy());
+  EXPECT_TRUE(lm.Acquire(2, Ent(0), LockMode::kX).IsBusy());
+  EXPECT_EQ(lm.conflicts(), 2u);
+}
+
+TEST(LockManagerTest, IntentionModes) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Rel(1), LockMode::kIS));
+  ASSERT_OK(lm.Acquire(2, Rel(1), LockMode::kIX));
+  ASSERT_OK(lm.Acquire(3, Rel(1), LockMode::kIS));
+  // Checkpoint S lock conflicts with IX but not IS.
+  EXPECT_TRUE(lm.Acquire(4, Rel(1), LockMode::kS).IsBusy());
+  lm.ReleaseAll(2);
+  ASSERT_OK(lm.Acquire(4, Rel(1), LockMode::kS));
+  // Writer now blocked by the checkpoint lock.
+  EXPECT_TRUE(lm.Acquire(5, Rel(1), LockMode::kIX).IsBusy());
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kS));
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  EXPECT_TRUE(lm.Holds(1, Ent(0), LockMode::kX));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherHolder) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kS));
+  ASSERT_OK(lm.Acquire(2, Ent(0), LockMode::kS));
+  EXPECT_TRUE(lm.Acquire(1, Ent(0), LockMode::kX).IsBusy());
+}
+
+TEST(LockManagerTest, ReacquireHeldModeIsFree) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  uint64_t acq = lm.acquisitions();
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kS));  // covered by X
+  EXPECT_EQ(lm.acquisitions(), acq);
+}
+
+TEST(LockManagerTest, SIxJoinEscalatesToX) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Rel(1), LockMode::kS));
+  ASSERT_OK(lm.Acquire(1, Rel(1), LockMode::kIX));
+  EXPECT_TRUE(lm.Holds(1, Rel(1), LockMode::kX));
+  // The escalation must respect other holders.
+  LockManager lm2;
+  ASSERT_OK(lm2.Acquire(1, Rel(1), LockMode::kS));
+  ASSERT_OK(lm2.Acquire(2, Rel(1), LockMode::kS));
+  EXPECT_TRUE(lm2.Acquire(1, Rel(1), LockMode::kIX).IsBusy());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  ASSERT_OK(lm.Acquire(1, Ent(1), LockMode::kX));
+  ASSERT_OK(lm.Acquire(1, Rel(1), LockMode::kIX));
+  EXPECT_EQ(lm.held_count(1), 3u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.held_count(1), 0u);
+  ASSERT_OK(lm.Acquire(2, Ent(0), LockMode::kX));
+  ASSERT_OK(lm.Acquire(2, Rel(1), LockMode::kX));
+}
+
+TEST(LockManagerTest, DistinctResourcesIndependent) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, Ent(0), LockMode::kX));
+  ASSERT_OK(lm.Acquire(2, Ent(1), LockMode::kX));
+  // Relation id 1 and entity in partition 1 are different resources.
+  ASSERT_OK(lm.Acquire(3, Rel(1), LockMode::kX));
+}
+
+TEST(UndoSpaceTest, TakeReversedReturnsLifoOrder) {
+  UndoSpace u;
+  for (uint32_t i = 0; i < 5; ++i) {
+    LogRecord r;
+    r.op = LogOp::kDelete;
+    r.txn_id = 1;
+    r.partition = {1, 0};
+    r.slot = i;
+    u.Push(1, r);
+  }
+  auto recs = u.TakeReversed(1);
+  ASSERT_EQ(recs.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(recs[i].slot, 4 - i);
+  EXPECT_TRUE(u.TakeReversed(1).empty());
+}
+
+TEST(UndoSpaceTest, ByteAccountingAndDiscard) {
+  UndoSpace u;
+  LogRecord r;
+  r.op = LogOp::kUpdate;
+  r.txn_id = 1;
+  r.partition = {1, 0};
+  r.slot = 0;
+  r.data = testing::FilledBytes(100, 1);
+  u.Push(1, r);
+  u.Push(2, r);
+  EXPECT_GT(u.bytes_in_use(), 200u);
+  u.Discard(1);
+  EXPECT_GT(u.bytes_in_use(), 100u);
+  EXPECT_LT(u.bytes_in_use(), 200u);
+  u.Clear();
+  EXPECT_EQ(u.bytes_in_use(), 0u);
+  EXPECT_GT(u.high_water_bytes(), 200u);
+}
+
+TEST(TransactionManagerTest, LifecycleAndCounters) {
+  TransactionManager tm;
+  Transaction* t1 = tm.Begin(TxnKind::kUser);
+  Transaction* t2 = tm.Begin(TxnKind::kCheckpoint);
+  EXPECT_NE(t1->id(), t2->id());
+  EXPECT_EQ(t2->kind(), TxnKind::kCheckpoint);
+  EXPECT_EQ(tm.active_count(), 2u);
+  ASSERT_OK_AND_ASSIGN(Transaction * got, tm.Get(t1->id()));
+  EXPECT_EQ(got, t1);
+  tm.NoteCommit();
+  tm.Finish(t1->id());
+  EXPECT_EQ(tm.active_count(), 1u);
+  EXPECT_TRUE(tm.Get(t1->id()).status().IsNotFound());
+  EXPECT_EQ(tm.committed(), 1u);
+}
+
+TEST(TransactionManagerTest, SeedNextIdSkipsUsedIds) {
+  TransactionManager tm;
+  tm.SeedNextId(100);
+  Transaction* t = tm.Begin();
+  EXPECT_GE(t->id(), 100u);
+  tm.SeedNextId(50);  // never goes backward
+  Transaction* t2 = tm.Begin();
+  EXPECT_GT(t2->id(), t->id());
+}
+
+TEST(TransactionTest, RedoBookkeeping) {
+  Transaction t(7, TxnKind::kUser);
+  EXPECT_TRUE(t.active());
+  t.NoteRedo(24);
+  t.NoteRedo(40);
+  EXPECT_EQ(t.redo_records(), 2u);
+  EXPECT_EQ(t.redo_bytes(), 64u);
+  t.set_state(TxnState::kCommitted);
+  EXPECT_FALSE(t.active());
+}
+
+}  // namespace
+}  // namespace mmdb
