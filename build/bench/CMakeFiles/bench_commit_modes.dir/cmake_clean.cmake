@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_modes.dir/bench_commit_modes.cc.o"
+  "CMakeFiles/bench_commit_modes.dir/bench_commit_modes.cc.o.d"
+  "bench_commit_modes"
+  "bench_commit_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

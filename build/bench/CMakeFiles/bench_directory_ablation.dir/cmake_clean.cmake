@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directory_ablation.dir/bench_directory_ablation.cc.o"
+  "CMakeFiles/bench_directory_ablation.dir/bench_directory_ablation.cc.o.d"
+  "bench_directory_ablation"
+  "bench_directory_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directory_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph1_logging_capacity.dir/bench_graph1_logging_capacity.cc.o"
+  "CMakeFiles/bench_graph1_logging_capacity.dir/bench_graph1_logging_capacity.cc.o.d"
+  "bench_graph1_logging_capacity"
+  "bench_graph1_logging_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph1_logging_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

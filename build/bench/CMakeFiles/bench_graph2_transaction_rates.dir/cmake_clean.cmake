@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph2_transaction_rates.dir/bench_graph2_transaction_rates.cc.o"
+  "CMakeFiles/bench_graph2_transaction_rates.dir/bench_graph2_transaction_rates.cc.o.d"
+  "bench_graph2_transaction_rates"
+  "bench_graph2_transaction_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph2_transaction_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

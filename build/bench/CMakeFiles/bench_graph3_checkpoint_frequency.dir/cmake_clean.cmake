@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph3_checkpoint_frequency.dir/bench_graph3_checkpoint_frequency.cc.o"
+  "CMakeFiles/bench_graph3_checkpoint_frequency.dir/bench_graph3_checkpoint_frequency.cc.o.d"
+  "bench_graph3_checkpoint_frequency"
+  "bench_graph3_checkpoint_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph3_checkpoint_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_comparison.dir/bench_recovery_comparison.cc.o"
+  "CMakeFiles/bench_recovery_comparison.dir/bench_recovery_comparison.cc.o.d"
+  "bench_recovery_comparison"
+  "bench_recovery_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

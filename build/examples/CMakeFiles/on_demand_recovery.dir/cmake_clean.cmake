@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_demand_recovery.dir/on_demand_recovery.cc.o"
+  "CMakeFiles/on_demand_recovery.dir/on_demand_recovery.cc.o.d"
+  "on_demand_recovery"
+  "on_demand_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_demand_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/model.cc" "src/CMakeFiles/mmdb.dir/analysis/model.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/analysis/model.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/mmdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/mmdb.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/mmdb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/core/database.cc.o.d"
+  "/root/repo/src/index/linear_hash.cc" "src/CMakeFiles/mmdb.dir/index/linear_hash.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/linear_hash.cc.o.d"
+  "/root/repo/src/index/node_format.cc" "src/CMakeFiles/mmdb.dir/index/node_format.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/node_format.cc.o.d"
+  "/root/repo/src/index/ttree.cc" "src/CMakeFiles/mmdb.dir/index/ttree.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/index/ttree.cc.o.d"
+  "/root/repo/src/log/audit_log.cc" "src/CMakeFiles/mmdb.dir/log/audit_log.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/log/audit_log.cc.o.d"
+  "/root/repo/src/log/log_disk.cc" "src/CMakeFiles/mmdb.dir/log/log_disk.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/log/log_disk.cc.o.d"
+  "/root/repo/src/log/log_record.cc" "src/CMakeFiles/mmdb.dir/log/log_record.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/log/log_record.cc.o.d"
+  "/root/repo/src/log/slb.cc" "src/CMakeFiles/mmdb.dir/log/slb.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/log/slb.cc.o.d"
+  "/root/repo/src/log/slt.cc" "src/CMakeFiles/mmdb.dir/log/slt.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/log/slt.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/mmdb.dir/query/query.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/query/query.cc.o.d"
+  "/root/repo/src/recovery/archive.cc" "src/CMakeFiles/mmdb.dir/recovery/archive.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/recovery/archive.cc.o.d"
+  "/root/repo/src/recovery/checkpointer.cc" "src/CMakeFiles/mmdb.dir/recovery/checkpointer.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/recovery/checkpointer.cc.o.d"
+  "/root/repo/src/recovery/recovery_manager.cc" "src/CMakeFiles/mmdb.dir/recovery/recovery_manager.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/recovery/recovery_manager.cc.o.d"
+  "/root/repo/src/recovery/restart_manager.cc" "src/CMakeFiles/mmdb.dir/recovery/restart_manager.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/recovery/restart_manager.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/mmdb.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/CMakeFiles/mmdb.dir/sim/cpu.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/sim/cpu.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/CMakeFiles/mmdb.dir/sim/disk.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/sim/disk.cc.o.d"
+  "/root/repo/src/sim/stable_memory.cc" "src/CMakeFiles/mmdb.dir/sim/stable_memory.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/sim/stable_memory.cc.o.d"
+  "/root/repo/src/storage/addr.cc" "src/CMakeFiles/mmdb.dir/storage/addr.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/addr.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/mmdb.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/partition_manager.cc" "src/CMakeFiles/mmdb.dir/storage/partition_manager.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/storage/partition_manager.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/mmdb.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/mmdb.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/undo_space.cc" "src/CMakeFiles/mmdb.dir/txn/undo_space.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/txn/undo_space.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/mmdb.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mmdb.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mmdb.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mmdb.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

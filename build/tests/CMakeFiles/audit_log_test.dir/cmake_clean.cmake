@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_log_test.dir/audit_log_test.cc.o"
+  "CMakeFiles/audit_log_test.dir/audit_log_test.cc.o.d"
+  "audit_log_test"
+  "audit_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_commit_test.dir/ddl_commit_test.cc.o"
+  "CMakeFiles/ddl_commit_test.dir/ddl_commit_test.cc.o.d"
+  "ddl_commit_test"
+  "ddl_commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

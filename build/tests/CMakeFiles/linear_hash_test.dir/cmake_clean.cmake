@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_hash_test.dir/linear_hash_test.cc.o"
+  "CMakeFiles/linear_hash_test.dir/linear_hash_test.cc.o.d"
+  "linear_hash_test"
+  "linear_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

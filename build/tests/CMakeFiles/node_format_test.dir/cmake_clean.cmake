@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_format_test.dir/node_format_test.cc.o"
+  "CMakeFiles/node_format_test.dir/node_format_test.cc.o.d"
+  "node_format_test"
+  "node_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

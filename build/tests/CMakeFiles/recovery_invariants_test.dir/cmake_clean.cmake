@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_invariants_test.dir/recovery_invariants_test.cc.o"
+  "CMakeFiles/recovery_invariants_test.dir/recovery_invariants_test.cc.o.d"
+  "recovery_invariants_test"
+  "recovery_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttree_test.dir/ttree_test.cc.o"
+  "CMakeFiles/ttree_test.dir/ttree_test.cc.o.d"
+  "ttree_test"
+  "ttree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
