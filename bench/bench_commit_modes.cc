@@ -28,6 +28,8 @@ void PrintModes() {
   PrintHeader("ABLATION (§1.2/§2.3.1) — commit durability strategies");
   std::printf("%16s %14s %16s %12s %14s\n", "mode", "elapsed vms",
               "avg wait ms", "log forces", "txn/vsec");
+  obs::BenchReport report("commit_modes");
+  obs::JsonValue series;
   const ModeRow rows[] = {
       {CommitMode::kStableMemory, "stable-memory", 0},
       {CommitMode::kGroupCommit, "group-commit x4", 4},
@@ -58,7 +60,19 @@ void PrintModes() {
     std::printf("%16s %14.1f %16.3f %12llu %14.0f\n", row.name, elapsed_ms,
                 avg_wait, static_cast<unsigned long long>(s.log_forces),
                 kTxns / (elapsed_ms * 1e-3));
+    obs::JsonValue point;
+    point["mode"] = row.name;
+    point["elapsed_vms"] = elapsed_ms;
+    point["avg_commit_wait_vms"] = avg_wait;
+    point["log_forces"] = s.log_forces;
+    point["txn_per_vsec"] = kTxns / (elapsed_ms * 1e-3);
+    series.push_back(std::move(point));
+    report.Headline(std::string("txn_per_vsec_") + row.name,
+                    kTxns / (elapsed_ms * 1e-3));
+    if (row.mode == CommitMode::kDiskForce) report.AddRegistry(db.metrics());
   }
+  report.Set("series", std::move(series));
+  (void)report.Write();
   std::printf(
       "\n(Stable-memory commit removes all log-I/O waits; group commit\n"
       " amortizes but still pays per-group latency; per-commit forcing\n"

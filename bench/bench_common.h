@@ -15,6 +15,8 @@
 #include "analysis/model.h"
 #include "core/database.h"
 #include "log/log_record.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace mmdb::bench {
@@ -40,17 +42,49 @@ inline LogRecord SyntheticRecord(uint64_t txn, PartitionId pid, uint32_t bin,
 /// database on top.
 class LoggingRig {
  public:
+  /// All knobs in one place; `costs` is derived from the sizing fields
+  /// before RecoveryManager copies it (it takes Config by value at
+  /// construction, so post-hoc fixes never reach the sort process).
+  struct Config {
+    uint32_t page_bytes = 8 * 1024;
+    uint64_t n_update = 1000;
+    uint64_t window_pages = 1ull << 30;
+    uint64_t grace_pages = 64;
+    uint64_t stable_memory_bytes = 256ull << 20;
+    uint32_t slb_block_bytes = 2048;
+    uint64_t slb_capacity_bytes = 64ull << 20;
+    uint32_t directory_entries = 8;
+    uint32_t max_bins = 50;
+    double recovery_mips = 1.0;
+    analysis::Table2 costs;  // derived sizes overwritten by Derive()
+  };
+
+  explicit LoggingRig(Config cfg)
+      : cfg_(Derive(cfg)),
+        meter_(cfg_.stable_memory_bytes),
+        slb_({cfg_.slb_block_bytes, cfg_.slb_capacity_bytes}, &meter_),
+        slt_({cfg_.directory_entries, cfg_.max_bins, cfg_.page_bytes},
+             &meter_),
+        disks_("log", MakeParams(cfg_.page_bytes)),
+        writer_({cfg_.page_bytes, cfg_.window_pages, cfg_.grace_pages},
+                &disks_),
+        cpu_("recovery", cfg_.recovery_mips),
+        recovery_({cfg_.costs, cfg_.n_update}, &slb_, &slt_, &writer_,
+                  &cpu_) {}
+
+  /// Positional form kept for the table/figure benches.
   LoggingRig(uint32_t page_bytes, uint64_t n_update,
              uint64_t window_pages = 1ull << 30)
-      : meter_(256ull << 20),
-        slb_({2048, 64ull << 20}, &meter_),
-        slt_({8, 50, page_bytes}, &meter_),
-        disks_("log", MakeParams(page_bytes)),
-        writer_({page_bytes, window_pages, 64}, &disks_),
-        cpu_("recovery", 1.0),
-        recovery_({analysis::Table2{}, n_update}, &slb_, &slt_, &writer_,
-                  &cpu_) {
-    recovery_cfgfix(page_bytes, n_update);
+      : LoggingRig(MakeConfig(page_bytes, n_update, window_pages)) {}
+
+  /// Registers the rig's components (SLB, SLT, log disk, sort process)
+  /// with `reg` so a bench can dump them into its BENCH_<name>.json.
+  void AttachMetrics(obs::MetricsRegistry* reg) {
+    slb_.AttachMetrics(reg);
+    slt_.AttachMetrics(reg);
+    disks_.AttachMetrics(reg);
+    writer_.AttachMetrics(reg);
+    recovery_.AttachMetrics(reg);
   }
 
   /// Feeds `n` committed records of `record_bytes` each, spread over
@@ -91,6 +125,7 @@ class LoggingRig {
   RecoveryManager& recovery() { return recovery_; }
   StableLogBuffer& slb() { return slb_; }
   sim::CpuModel& cpu() { return cpu_; }
+  const Config& config() const { return cfg_; }
 
  private:
   static sim::DiskParams MakeParams(uint32_t page_bytes) {
@@ -98,13 +133,24 @@ class LoggingRig {
     p.page_size_bytes = page_bytes;
     return p;
   }
-  void recovery_cfgfix(uint32_t page_bytes, uint64_t n_update) {
-    // RecoveryManager copies its config at construction; nothing to fix,
-    // but keep Table2's derived sizes aligned for reporting.
-    (void)page_bytes;
-    (void)n_update;
+  /// Mirrors the Database constructor: Table2's derived sizes follow the
+  /// configured geometry, so the sort process charges costs consistent
+  /// with the page size it actually writes.
+  static Config Derive(Config cfg) {
+    cfg.costs.s_log_page = static_cast<double>(cfg.page_bytes);
+    cfg.costs.n_update = static_cast<double>(cfg.n_update);
+    return cfg;
+  }
+  static Config MakeConfig(uint32_t page_bytes, uint64_t n_update,
+                           uint64_t window_pages) {
+    Config cfg;
+    cfg.page_bytes = page_bytes;
+    cfg.n_update = n_update;
+    cfg.window_pages = window_pages;
+    return cfg;
   }
 
+  Config cfg_;
   sim::StableMemoryMeter meter_;
   StableLogBuffer slb_;
   StableLogTail slt_;

@@ -56,6 +56,8 @@ void PrintAblation() {
   std::printf("%8s %6s | %14s %16s | %16s %8s\n", "pages", "N",
               "backward reads", "time-to-first ms", "chain-walk ms",
               "speedup");
+  obs::BenchReport report("directory_ablation");
+  obs::JsonValue series;
   analysis::DiskModel dm;
   for (uint32_t dir_n : {4u, 8u, 16u}) {
     for (uint32_t pages : {4u, 16u, 64u, 256u}) {
@@ -99,6 +101,18 @@ void PrintAblation() {
       std::printf("%8u %6u | %14llu %16.1f | %16.1f %7.1fx\n", pages, dir_n,
                   static_cast<unsigned long long>(backward), first_ms,
                   chain_ms, chain_ms / first_ms);
+      obs::JsonValue point;
+      point["pages"] = static_cast<uint64_t>(pages);
+      point["directory_entries"] = static_cast<uint64_t>(dir_n);
+      point["backward_reads"] = backward;
+      point["time_to_first_vms"] = first_ms;
+      point["chain_walk_vms"] = chain_ms;
+      point["speedup"] = chain_ms / first_ms;
+      series.push_back(std::move(point));
+      if (pages == 256 && dir_n == 8) {
+        report.Headline("speedup_256pages_dir8", chain_ms / first_ms);
+        report.Headline("backward_reads_256pages_dir8", backward);
+      }
       if (lsns.size() != pages) {
         std::printf("ERROR: collected %zu pages, expected %u\n", lsns.size(),
                     pages);
@@ -106,6 +120,8 @@ void PrintAblation() {
       }
     }
   }
+  report.Set("series", std::move(series));
+  (void)report.Write();
   std::printf(
       "\n(The directory keeps time-to-first-apply ~flat in the directory\n"
       " size while the backward chain grows linearly with page count.)\n");

@@ -45,6 +45,7 @@ void PrintGraph2() {
 
   // Headline: full-database debit/credit (TP1: account + teller + branch
   // updates and a history insert = 4 log records per transaction).
+  obs::BenchReport report("graph2_transaction_rates");
   DatabaseOptions o;
   o.auto_run_checkpoints = true;
   Database db(o);
@@ -75,6 +76,12 @@ void PrintGraph2() {
   analysis::Table2 t;
   std::printf("  model capacity at 4 records/txn       : %.0f txn/s\n",
               t.MaxTransactionRate(4.0));
+
+  report.Headline("records_per_txn", recs_per_txn);
+  report.Headline("txn_per_vsec", recs / recs_per_txn / vsec);
+  report.Headline("model_txn_per_vsec_4rec", t.MaxTransactionRate(4.0));
+  report.AddRegistry(db.metrics());
+  (void)report.Write();
 }
 
 void BM_DebitCreditLogging(benchmark::State& state) {

@@ -62,6 +62,8 @@ void PrintComparison() {
       "%8s %8s | %14s %14s %14s | %14s %14s\n", "rels", "rows/rel",
       "P: catalog ms", "P: first-txn", "P: full ms", "D: first-txn",
       "D/P first-txn");
+  obs::BenchReport report("recovery_comparison");
+  obs::JsonValue series;
   const Setup setups[] = {{500, 4}, {1000, 8}, {2000, 12}, {4000, 16}};
   for (const Setup& s : setups) {
     // --- partition-level (on-demand) ---
@@ -96,6 +98,9 @@ void PrintComparison() {
       double t1 = db.now_ms();
       while (!done && st.ok()) st = db.BackgroundRecoveryStep(&done);
       p_full = p_first + (db.now_ms() - t1);
+      // Overwritten each setup: the report carries the largest setup's
+      // on-demand + background recovery metrics.
+      report.AddRegistry(db.metrics());
     }
     // --- database-level (complete reload) ---
     double d_first = 0;
@@ -116,7 +121,21 @@ void PrintComparison() {
                 s.relations, static_cast<long long>(s.rows_per_relation),
                 p_catalog, p_first, p_full, d_first,
                 p_first > 0 ? d_first / p_first : 0.0);
+    obs::JsonValue point;
+    point["relations"] = s.relations;
+    point["rows_per_relation"] = s.rows_per_relation;
+    point["partition_catalog_vms"] = p_catalog;
+    point["partition_first_txn_vms"] = p_first;
+    point["partition_full_vms"] = p_full;
+    point["full_reload_first_txn_vms"] = d_first;
+    series.push_back(std::move(point));
+    report.Headline("partition_first_txn_vms", p_first);
+    report.Headline("full_reload_first_txn_vms", d_first);
+    report.Headline("first_txn_speedup",
+                    p_first > 0 ? d_first / p_first : 0.0);
   }
+  report.Set("series", std::move(series));
+  (void)report.Write();
 
   // Analytic model for context.
   analysis::RecoveryModel m;

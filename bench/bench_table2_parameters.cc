@@ -21,7 +21,9 @@ void PrintTable2() {
   // Cross-check: drive the real sort process at Table 2's environs and
   // compare the measured record rate against the calculated row.
   analysis::Table2 t;
+  obs::MetricsRegistry reg;
   LoggingRig rig(/*page_bytes=*/8192, /*n_update=*/1000);
+  rig.AttachMetrics(&reg);
   Status st = rig.Run(/*n=*/60000, /*record_bytes=*/24, /*partitions=*/16);
   std::printf("\n  measured cross-check (60k records, 24 B, 16 partitions)\n");
   if (!st.ok()) {
@@ -34,6 +36,14 @@ void PrintTable2() {
               "R_records_logged (measured)", rig.RecordsPerSecond());
   std::printf("  %-28s %14.2f\n", "measured / model",
               rig.RecordsPerSecond() / t.RRecordsLogged());
+
+  obs::BenchReport report("table2_parameters");
+  report.Headline("model_records_per_vsec", t.RRecordsLogged());
+  report.Headline("measured_records_per_vsec", rig.RecordsPerSecond());
+  report.Headline("measured_over_model",
+                  rig.RecordsPerSecond() / t.RRecordsLogged());
+  report.AddRegistry(reg);
+  (void)report.Write();
 }
 
 void BM_RecordSortCost(benchmark::State& state) {

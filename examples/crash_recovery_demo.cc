@@ -44,6 +44,7 @@ int main() {
   o.partition_size_bytes = 16 * 1024;
   o.log_page_bytes = 2 * 1024;
   o.n_update = 150;  // checkpoint after 150 updates to a partition
+  o.enable_tracing = true;  // Chrome trace of the whole session (below)
   Database db(o);
 
   Banner("create schema");
@@ -128,6 +129,11 @@ int main() {
 
   Banner("final statistics");
   DumpStats(&db);
+
+  const char* trace_path = "crash_recovery_demo.trace.json";
+  CHECK_OK(db.tracer().WriteJson(trace_path));
+  std::printf("\nwrote %s (%zu events) — open at https://ui.perfetto.dev\n",
+              trace_path, db.tracer().event_count());
   std::printf("crash_recovery_demo OK\n");
   return 0;
 }

@@ -54,6 +54,38 @@ Database::Database(DatabaseOptions opts)
 
   checkpointer_ = std::make_unique<Checkpointer>(this);
   restarter_ = std::make_unique<RestartManager>(this);
+
+  tracer_.set_enabled(opts_.enable_tracing);
+  AttachStableObservers();
+  AttachVolatileObservers();
+}
+
+void Database::AttachStableObservers() {
+  slb_->AttachMetrics(&metrics_);
+  slt_->AttachMetrics(&metrics_);
+  log_disks_->AttachMetrics(&metrics_);
+  checkpoint_disk_->AttachMetrics(&metrics_);
+  log_writer_->AttachMetrics(&metrics_);
+  log_writer_->AttachTracer(&tracer_);
+  recovery_->AttachMetrics(&metrics_);
+
+  m_log_forces_ = metrics_.counter("log.forces");
+  m_ckpt_completed_ = metrics_.counter("checkpoint.completed");
+  m_ondemand_count_ = metrics_.counter("recovery.on_demand");
+  m_background_count_ = metrics_.counter("recovery.background");
+  m_commit_wait_ns_ = metrics_.histogram("commit.wait_ns");
+  m_txn_latency_ns_ =
+      metrics_.histogram("txn.latency_ns", obs::Scope::kVolatile);
+  m_ckpt_duration_ns_ = metrics_.histogram("checkpoint.duration_ns");
+  m_ondemand_ns_ = metrics_.histogram("recovery.on_demand_ns");
+  m_background_ns_ = metrics_.histogram("recovery.background_ns");
+  m_restart_total_ns_ = metrics_.histogram("restart.total_ns");
+  m_restart_catalog_ns_ = metrics_.histogram("restart.catalog_ns");
+}
+
+void Database::AttachVolatileObservers() {
+  v_->locks.AttachMetrics(&metrics_);
+  v_->txns.AttachMetrics(&metrics_);
 }
 
 Database::~Database() = default;
@@ -95,8 +127,10 @@ void Database::ApplyCommitDurability(uint64_t redo_bytes) {
       clock_.AdvanceTo(done);
       main_cpu_.IdleUntil(clock_.now_ns());
       ++log_forces_;
+      m_log_forces_->Add(1);
       commit_wait_ms_total_ += static_cast<double>(done - start) * 1e-6;
       ++commits_waited_;
+      m_commit_wait_ns_->Record(static_cast<double>(done - start));
       return;
     }
     case CommitMode::kGroupCommit: {
@@ -124,9 +158,11 @@ void Database::FlushCommitGroup() {
   clock_.AdvanceTo(done);
   main_cpu_.IdleUntil(clock_.now_ns());
   ++log_forces_;
+  m_log_forces_->Add(1);
   for (uint64_t since : group_pending_since_ns_) {
     commit_wait_ms_total_ += static_cast<double>(done - since) * 1e-6;
     ++commits_waited_;
+    m_commit_wait_ns_->Record(static_cast<double>(done - since));
   }
   group_pending_since_ns_.clear();
   group_pending_bytes_ = 0;
@@ -367,9 +403,15 @@ Result<Partition*> Database::ResidentPartition(PartitionId pid) {
     return Status::Corruption("descriptor resident but partition missing");
   }
   RestartReport scratch;
+  uint64_t start_ns = clock_.now_ns();
   MMDB_RETURN_IF_ERROR(
       RecoverPartitionInternal(pid, d->checkpoint_page, &scratch));
   ++on_demand_recoveries_;
+  m_ondemand_count_->Add(1);
+  m_ondemand_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
+  tracer_.Span(obs::Track::kMainCpu, "recovery",
+               "on-demand " + pid.ToString(), start_ns,
+               clock_.now_ns() - start_ns);
   return v_->pm.Get(pid);
 }
 
@@ -825,6 +867,7 @@ Result<Transaction*> Database::Begin(TxnKind kind,
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
   MainWork(50);
   Transaction* txn = v_->txns.Begin(kind);
+  txn->set_begin_ns(clock_.now_ns());
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(AuditRecord{
         txn->id(), clock_.now_ns(), AuditKind::kBegin, user_data}));
@@ -840,8 +883,14 @@ Status Database::Commit(Transaction* txn) {
   uint64_t id = txn->id();
   TxnKind kind = txn->kind();
   uint64_t redo_bytes = txn->redo_bytes();
+  uint64_t begin_ns = txn->begin_ns();
   MMDB_RETURN_IF_ERROR(slb_->Commit(id));
   if (kind == TxnKind::kUser) ApplyCommitDurability(redo_bytes);
+  if (kind == TxnKind::kUser) {
+    m_txn_latency_ns_->Record(static_cast<double>(clock_.now_ns() - begin_ns));
+    tracer_.Span(obs::Track::kMainCpu, "txn", "txn " + std::to_string(id),
+                 begin_ns, clock_.now_ns() - begin_ns);
+  }
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
         AuditRecord{id, clock_.now_ns(), AuditKind::kCommit, ""}));
@@ -881,6 +930,11 @@ Status Database::Abort(Transaction* txn) {
   MMDB_RETURN_IF_ERROR(slb_->Discard(id));
   v_->locks.ReleaseAll(id);
   TxnKind kind = txn->kind();
+  if (kind == TxnKind::kUser) {
+    tracer_.Span(obs::Track::kMainCpu, "txn",
+                 "txn " + std::to_string(id) + " (abort)", txn->begin_ns(),
+                 clock_.now_ns() - txn->begin_ns());
+  }
   txn->set_state(TxnState::kAborted);
   v_->txns.NoteAbort();
   v_->txns.Finish(id);
@@ -1182,12 +1236,33 @@ void Database::Crash() {
   v_->undo.Clear();
   recovery_->RebuildFirstLsnList();
   crashed_ = true;
+  // Volatile metrics reset with the state they measured; the new lock
+  // table / txn manager get fresh handle hookups.
+  metrics_.ResetVolatile();
+  AttachVolatileObservers();
+  tracer_.Instant(obs::Track::kSystem, "lifecycle", "crash", clock_.now_ns());
+  MMDB_LOG(INFO, "crash at %llu vns: volatile store and metrics dropped",
+           static_cast<unsigned long long>(clock_.now_ns()));
 }
 
 Status Database::Restart() {
   if (!crashed_) return Status::InvalidArgument("Restart() without a crash");
   last_restart_ = RestartReport{};
+  uint64_t start_ns = clock_.now_ns();
   Status st = restarter_->Restart(&last_restart_);
+  if (st.ok()) {
+    m_restart_catalog_ns_->Record(last_restart_.catalog_ms * 1e6);
+    m_restart_total_ns_->Record(last_restart_.total_ms * 1e6);
+    tracer_.Span(obs::Track::kSystem, "lifecycle", "restart: catalogs",
+                 start_ns, static_cast<uint64_t>(last_restart_.catalog_ms * 1e6));
+    tracer_.Span(obs::Track::kSystem, "lifecycle", "restart", start_ns,
+                 clock_.now_ns() - start_ns);
+    MMDB_LOG(INFO,
+             "restart: catalogs %.2f vms, total %.2f vms, %llu partitions",
+             last_restart_.catalog_ms, last_restart_.total_ms,
+             static_cast<unsigned long long>(
+                 last_restart_.partitions_recovered));
+  }
   if (st.ok() && opts_.audit_logging) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
         AuditRecord{0, clock_.now_ns(), AuditKind::kRestart, ""}));
@@ -1225,9 +1300,15 @@ Status Database::BackgroundRecoveryStep(bool* done) {
     auto rel = v_->catalog.GetRelation(rc->name);
     for (PartitionDescriptor& d : rel.value()->partitions) {
       if (d.resident) continue;
+      uint64_t start_ns = clock_.now_ns();
       MMDB_RETURN_IF_ERROR(
           RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
       ++background_recoveries_;
+      m_background_count_->Add(1);
+      m_background_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
+      tracer_.Span(obs::Track::kMainCpu, "recovery",
+                   "background " + d.id.ToString(), start_ns,
+                   clock_.now_ns() - start_ns);
       *done = false;
       return Status::OK();
     }
@@ -1236,9 +1317,16 @@ Status Database::BackgroundRecoveryStep(bool* done) {
       if (!idx.ok()) return idx.status();
       for (PartitionDescriptor& d : idx.value()->partitions) {
         if (d.resident) continue;
+        uint64_t start_ns = clock_.now_ns();
         MMDB_RETURN_IF_ERROR(
             RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
         ++background_recoveries_;
+        m_background_count_->Add(1);
+        m_background_ns_->Record(
+            static_cast<double>(clock_.now_ns() - start_ns));
+        tracer_.Span(obs::Track::kMainCpu, "recovery",
+                     "background " + d.id.ToString(), start_ns,
+                     clock_.now_ns() - start_ns);
         *done = false;
         return Status::OK();
       }
@@ -1290,26 +1378,34 @@ Status Database::FailAndRecoverCheckpointDisk() {
 }
 
 DatabaseStats Database::GetStats() const {
+  // A view over the metrics registry for everything counter-backed;
+  // genuinely live state (residency, CPU timelines, stable high-water)
+  // is sampled from the hardware models directly.
   DatabaseStats s;
-  s.txns_committed = v_->txns.committed();
-  s.txns_aborted = v_->txns.aborted();
-  s.records_logged = slb_->records_appended();
-  s.bytes_logged = slb_->bytes_appended();
-  s.records_sorted = recovery_->records_sorted();
-  s.log_pages_flushed = recovery_->pages_flushed();
-  s.checkpoints_completed = checkpoints_completed_;
-  s.checkpoints_update_count = recovery_->checkpoints_requested_update();
-  s.checkpoints_age = recovery_->checkpoints_requested_age();
+  s.txns_committed = metrics_.counter_value("txn.committed");
+  s.txns_aborted = metrics_.counter_value("txn.aborted");
+  s.records_logged = metrics_.counter_value("slb.records_appended");
+  s.bytes_logged = metrics_.counter_value("slb.bytes_appended");
+  s.records_sorted = metrics_.counter_value("recovery.records_sorted");
+  s.log_pages_flushed = metrics_.counter_value("log.pages_flushed");
+  s.checkpoints_completed = metrics_.counter_value("checkpoint.completed");
+  s.checkpoints_update_count =
+      metrics_.counter_value("recovery.ckpt_requests_update_count");
+  s.checkpoints_age = metrics_.counter_value("recovery.ckpt_requests_age");
   s.partitions_resident = v_->pm.resident_count();
-  s.on_demand_recoveries = on_demand_recoveries_;
-  s.background_recoveries = background_recoveries_;
+  s.on_demand_recoveries = metrics_.counter_value("recovery.on_demand");
+  s.background_recoveries = metrics_.counter_value("recovery.background");
   s.main_cpu_instructions = main_cpu_.total_instructions();
   s.recovery_cpu_instructions = recovery_cpu_.total_instructions();
   s.stable_memory_high_water = meter_->high_water_bytes();
-  s.lock_conflicts = v_->locks.conflicts();
-  s.log_forces = log_forces_;
+  s.lock_conflicts = metrics_.counter_value("lock.conflicts");
+  s.log_forces = metrics_.counter_value("log.forces");
   s.commit_wait_ms_total = commit_wait_ms_total_;
   s.commits_waited = commits_waited_;
+  if (const obs::Histogram* h = metrics_.find_histogram("commit.wait_ns")) {
+    s.commit_wait_ms_total = h->sum() * 1e-6;
+    s.commits_waited = h->count();
+  }
   return s;
 }
 

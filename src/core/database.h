@@ -16,6 +16,8 @@
 #include "log/log_disk.h"
 #include "log/slb.h"
 #include "log/slt.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "recovery/archive.h"
 #include "recovery/recovery_manager.h"
 #include "sim/clock.h"
@@ -110,6 +112,12 @@ struct DatabaseOptions {
   /// Run pending checkpoint transactions between user transactions
   /// (paper §2.4 step 2).
   bool auto_run_checkpoints = true;
+
+  /// Record Chrome trace_event spans (transactions, log flushes,
+  /// checkpoints, crash/restart) on the virtual clock. Off by default:
+  /// a disabled tracer costs one branch per site and never perturbs
+  /// virtual time either way.
+  bool enable_tracing = false;
 
   uint16_t ttree_node_capacity = TTree::kDefaultNodeCapacity;
   uint32_t hash_initial_buckets = 8;
@@ -260,6 +268,14 @@ class Database {
   Catalog& catalog();
   PartitionManager& partitions();
   LockManager& locks();
+  /// Metric series for every instrumented component (disks, SLB/SLT, log
+  /// writer, sort process, locks, transactions, checkpoints, restarts).
+  /// Volatile-scope series reset with the state they measure at Crash().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Chrome-trace recorder; enabled via DatabaseOptions::enable_tracing.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
   DatabaseStats GetStats() const;
   const RestartReport& last_restart() const { return last_restart_; }
 
@@ -346,10 +362,22 @@ class Database {
   void ApplyCommitDurability(uint64_t redo_bytes);
   void FlushCommitGroup();
 
+  /// Resolves the Database's own metric handles and attaches the stable
+  /// components (constructor only; their handles outlive every crash).
+  void AttachStableObservers();
+  /// Attaches the freshly built Volatile's components (constructor and
+  /// every Crash(): the new lock table / txn manager need new hookups).
+  void AttachVolatileObservers();
+
   DatabaseOptions opts_;
   sim::SimClock clock_;
   sim::CpuModel main_cpu_;
   sim::CpuModel recovery_cpu_;
+
+  // Observability. Declared before the components that cache handles
+  // into it so it outlives them on destruction.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
 
   // Stable store: survives Crash().
   std::unique_ptr<sim::StableMemoryMeter> meter_;
@@ -385,6 +413,19 @@ class Database {
   uint64_t log_forces_ = 0;
   double commit_wait_ms_total_ = 0;
   uint64_t commits_waited_ = 0;
+
+  // Cached registry handles (resolved once in AttachStableObservers).
+  obs::Counter* m_log_forces_ = nullptr;
+  obs::Counter* m_ckpt_completed_ = nullptr;
+  obs::Counter* m_ondemand_count_ = nullptr;
+  obs::Counter* m_background_count_ = nullptr;
+  obs::Histogram* m_commit_wait_ns_ = nullptr;
+  obs::Histogram* m_txn_latency_ns_ = nullptr;
+  obs::Histogram* m_ckpt_duration_ns_ = nullptr;
+  obs::Histogram* m_ondemand_ns_ = nullptr;
+  obs::Histogram* m_background_ns_ = nullptr;
+  obs::Histogram* m_restart_total_ns_ = nullptr;
+  obs::Histogram* m_restart_catalog_ns_ = nullptr;
 };
 
 /// EntityStore adapter binding a transaction to the database's logged

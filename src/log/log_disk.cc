@@ -18,6 +18,27 @@ Status ParseLogStream(std::span<const uint8_t> stream,
   return Status::OK();
 }
 
+void LogDiskWriter::AttachMetrics(obs::MetricsRegistry* reg) {
+  m_pages_flushed_ = reg->counter("log.pages_flushed");
+  m_archive_pages_ = reg->counter("log.archive_pages");
+  m_flush_ns_ = reg->histogram("log.flush_ns");
+  m_next_lsn_ = reg->gauge("log.next_lsn");
+  m_next_lsn_->Set(static_cast<double>(next_lsn_));
+}
+
+void LogDiskWriter::NoteFlush(const char* kind, PartitionId pid,
+                              uint64_t now_ns, uint64_t done_ns) {
+  if (m_flush_ns_ != nullptr) {
+    m_flush_ns_->Record(static_cast<double>(done_ns - now_ns));
+    m_next_lsn_->Set(static_cast<double>(next_lsn_));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Span(obs::Track::kLogDisk, "log",
+                  std::string(kind) + " " + pid.ToString(), now_ns,
+                  done_ns - now_ns);
+  }
+}
+
 uint32_t LogDiskWriter::PagePayloadCapacity(size_t dir_entries) const {
   size_t overhead = kPageHeaderBytes + dir_entries * 8;
   MMDB_CHECK(config_.page_bytes > overhead);
@@ -68,6 +89,8 @@ Result<uint64_t> LogDiskWriter::FlushBinPage(PartitionBin* bin,
       lsn, bin->partition, bin->last_page_lsn, prev_anchor, embedded,
       std::span<const uint8_t>(bin->active_page.data(), take));
   *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  if (m_pages_flushed_ != nullptr) m_pages_flushed_->Add(1);
+  NoteFlush("log-flush", bin->partition, now_ns, *done_ns);
   if (bin->first_page_lsn == kNoLsn) bin->first_page_lsn = lsn;
   bin->last_page_lsn = lsn;
   ++bin->pages_since_checkpoint;
@@ -86,6 +109,9 @@ Result<uint64_t> LogDiskWriter::WriteArchivePage(
       BuildPage(lsn, PartitionId::Unpack(kArchiveCombinedTag), kNoLsn, kNoLsn,
                 {}, stream_bytes);
   *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  if (m_archive_pages_ != nullptr) m_archive_pages_->Add(1);
+  NoteFlush("archive-combine", PartitionId::Unpack(kArchiveCombinedTag), now_ns,
+            *done_ns);
   return lsn;
 }
 

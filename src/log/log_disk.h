@@ -6,6 +6,8 @@
 
 #include "log/log_record.h"
 #include "log/slt.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/disk.h"
 #include "util/status.h"
 
@@ -71,6 +73,15 @@ class LogDiskWriter {
 
   const Config& config() const { return config_; }
 
+  /// Registers the writer's metric series (`log.*`): pages-flushed /
+  /// archive-page counters, a flush-latency histogram (submit to disk
+  /// completion, virtual ns), and a next-LSN gauge for window pressure.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
+  /// Attaches a tracer; each flushed page then emits a span on the
+  /// log-disk track.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Max record payload bytes a page can hold given whether it must embed
   /// a directory of `dir_entries` LSNs.
   uint32_t PagePayloadCapacity(size_t dir_entries) const;
@@ -122,9 +133,19 @@ class LogDiskWriter {
                                  const std::vector<uint64_t>& dir,
                                  std::span<const uint8_t> stream_bytes) const;
 
+  void NoteFlush(const char* kind, PartitionId pid, uint64_t now_ns,
+                 uint64_t done_ns);
+
   Config config_;
   sim::DuplexedDisk* disks_;
   uint64_t next_lsn_ = 0;
+
+  // Optional observers (null until attached).
+  obs::Counter* m_pages_flushed_ = nullptr;
+  obs::Counter* m_archive_pages_ = nullptr;
+  obs::Histogram* m_flush_ns_ = nullptr;
+  obs::Gauge* m_next_lsn_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mmdb

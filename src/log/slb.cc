@@ -4,6 +4,29 @@
 
 namespace mmdb {
 
+void StableLogBuffer::AttachMetrics(obs::MetricsRegistry* reg) {
+  m_records_ = reg->counter("slb.records_appended");
+  m_bytes_ = reg->counter("slb.bytes_appended");
+  m_blocks_ = reg->counter("slb.blocks_allocated");
+  m_occupancy_ = reg->gauge("slb.occupancy_bytes");
+  // Occupancy sampled at each block allocation, in bytes: power-of-two
+  // buckets from one block (2KB default) up past typical capacities.
+  std::vector<double> bounds;
+  for (double b = 1024.0; b <= 256.0 * 1024 * 1024; b *= 2) bounds.push_back(b);
+  m_occupancy_dist_ = reg->histogram("slb.occupancy_at_alloc_bytes", bounds);
+  m_occupancy_->Set(static_cast<double>(occupancy_bytes_));
+}
+
+void StableLogBuffer::NoteOccupancy(int64_t delta_bytes) {
+  occupancy_bytes_ = static_cast<uint64_t>(
+      static_cast<int64_t>(occupancy_bytes_) + delta_bytes);
+  if (m_occupancy_ == nullptr) return;
+  m_occupancy_->Set(static_cast<double>(occupancy_bytes_));
+  if (delta_bytes > 0) {
+    m_occupancy_dist_->Record(static_cast<double>(occupancy_bytes_));
+  }
+}
+
 Status StableLogBuffer::AppendToChain(Chain* chain, const LogRecord& rec) {
   size_t need = rec.SerializedSize();
   bool need_block = chain->blocks.empty() ||
@@ -20,6 +43,8 @@ Status StableLogBuffer::AppendToChain(Chain* chain, const LogRecord& rec) {
     meter_->Allocate(block_size);
     meter_->NoteHighWater();
     ++blocks_allocated_;
+    if (m_blocks_ != nullptr) m_blocks_->Add(1);
+    NoteOccupancy(static_cast<int64_t>(block_size));
     Block b;
     b.buf.resize(block_size);
     b.used = 0;
@@ -34,12 +59,19 @@ Status StableLogBuffer::AppendToChain(Chain* chain, const LogRecord& rec) {
   ++chain->records;
   ++records_appended_;
   bytes_appended_ += tmp.size();
+  if (m_records_ != nullptr) {
+    m_records_->Add(1);
+    m_bytes_->Add(tmp.size());
+  }
   meter_->ChargeWrite(tmp.size());
   return Status::OK();
 }
 
 void StableLogBuffer::ReleaseChain(Chain* chain) {
-  for (const Block& b : chain->blocks) meter_->Release(b.buf.size());
+  for (const Block& b : chain->blocks) {
+    meter_->Release(b.buf.size());
+    NoteOccupancy(-static_cast<int64_t>(b.buf.size()));
+  }
   chain->blocks.clear();
   chain->records = 0;
 }
@@ -89,6 +121,7 @@ Result<LogRecord> StableLogBuffer::PopCommitted() {
     Block& b = chain.blocks.front();
     if (read_offset_ >= b.used) {
       meter_->Release(b.buf.size());
+      NoteOccupancy(-static_cast<int64_t>(b.buf.size()));
       chain.blocks.pop_front();
       read_offset_ = 0;
       continue;

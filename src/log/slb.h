@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "log/log_record.h"
+#include "obs/metrics.h"
 #include "sim/stable_memory.h"
 #include "storage/addr.h"
 #include "util/status.h"
@@ -75,6 +76,11 @@ class StableLogBuffer {
 
   const Config& config() const { return config_; }
 
+  /// Registers the SLB's metric series (`slb.*`): append counters plus
+  /// occupancy (current gauge and per-append distribution), so buffer
+  /// pressure between the main CPU and the sort process is visible.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
   // --- transaction-side (main CPU) ----------------------------------------
 
   /// Appends a REDO record to `txn_id`'s private chain, allocating blocks
@@ -132,6 +138,8 @@ class StableLogBuffer {
   uint64_t bytes_appended() const { return bytes_appended_; }
   uint64_t blocks_allocated() const { return blocks_allocated_; }
   uint64_t committed_backlog_records() const;
+  /// Bytes currently held in SLB blocks (uncommitted + committed chains).
+  uint64_t occupancy_bytes() const { return occupancy_bytes_; }
 
  private:
   struct Block {
@@ -146,6 +154,7 @@ class StableLogBuffer {
 
   Status AppendToChain(Chain* chain, const LogRecord& rec);
   void ReleaseChain(Chain* chain);
+  void NoteOccupancy(int64_t delta_bytes);
 
   Config config_;
   sim::StableMemoryMeter* meter_;
@@ -160,6 +169,14 @@ class StableLogBuffer {
   uint64_t records_appended_ = 0;
   uint64_t bytes_appended_ = 0;
   uint64_t blocks_allocated_ = 0;
+  uint64_t occupancy_bytes_ = 0;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_blocks_ = nullptr;
+  obs::Gauge* m_occupancy_ = nullptr;
+  obs::Histogram* m_occupancy_dist_ = nullptr;
 };
 
 }  // namespace mmdb

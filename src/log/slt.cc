@@ -4,6 +4,26 @@
 
 namespace mmdb {
 
+void StableLogTail::AttachMetrics(obs::MetricsRegistry* reg) {
+  m_bins_in_use_ = reg->gauge("slt.bins_in_use");
+  m_active_pages_ = reg->gauge("slt.active_page_buffers");
+  m_bin_resets_ = reg->counter("slt.bin_resets");
+  UpdateGauges();
+}
+
+void StableLogTail::UpdateGauges() {
+  if (m_bins_in_use_ == nullptr) return;
+  uint64_t in_use = 0;
+  uint64_t active_pages = 0;
+  for (const PartitionBin& b : bins_) {
+    if (!b.in_use) continue;
+    ++in_use;
+    if (!b.active_page.empty() || b.active_records > 0) ++active_pages;
+  }
+  m_bins_in_use_->Set(static_cast<double>(in_use));
+  m_active_pages_->Set(static_cast<double>(active_pages));
+}
+
 Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
   uint32_t idx;
   if (!free_bins_.empty()) {
@@ -22,6 +42,7 @@ Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
   b = PartitionBin{};
   b.in_use = true;
   b.partition = pid;
+  UpdateGauges();
   return idx;
 }
 
@@ -33,6 +54,7 @@ Status StableLogTail::ReleaseBin(uint32_t bin_index) {
   }
   *b.value() = PartitionBin{};
   free_bins_.push_back(bin_index);
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -73,6 +95,7 @@ Status StableLogTail::AppendToActivePage(
                          record_bytes.end());
   ++pb->active_records;
   meter_->ChargeWrite(record_bytes.size());
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -92,6 +115,8 @@ Status StableLogTail::ResetAfterCheckpoint(uint32_t bin_index) {
   pb->active_page.clear();
   pb->active_records = 0;
   pb->checkpoint_requested = false;
+  if (m_bin_resets_ != nullptr) m_bin_resets_->Add(1);
+  UpdateGauges();
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/stable_memory.h"
 #include "storage/addr.h"
 #include "util/status.h"
@@ -84,6 +85,11 @@ class StableLogTail {
 
   const Config& config() const { return config_; }
 
+  /// Registers the SLT's metric series (`slt.*`): bins-in-use and
+  /// active-page-buffer gauges, plus a counter of bin resets (one per
+  /// completed checkpoint of an active partition).
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
   /// Assigns a permanent bin to a newly allocated partition.
   Result<uint32_t> RegisterPartition(PartitionId pid);
 
@@ -119,11 +125,18 @@ class StableLogTail {
   std::vector<uint32_t> ActiveBins() const;
 
  private:
+  void UpdateGauges();
+
   Config config_;
   sim::StableMemoryMeter* meter_;
   std::vector<PartitionBin> bins_;
   std::vector<uint32_t> free_bins_;
   std::vector<uint8_t> catalog_root_;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Gauge* m_bins_in_use_ = nullptr;
+  obs::Gauge* m_active_pages_ = nullptr;
+  obs::Counter* m_bin_resets_ = nullptr;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,49 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace mmdb::obs {
+
+JsonValue RegistryToJsonValue(const MetricsRegistry& reg) {
+  JsonValue out;
+  JsonValue counters{JsonValue::Object{}};
+  reg.ForEachCounter([&](const std::string& name, const Counter& c) {
+    counters[name] = c.value();
+  });
+  out["counters"] = std::move(counters);
+
+  JsonValue gauges{JsonValue::Object{}};
+  reg.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    gauges[name] = g.value();
+  });
+  out["gauges"] = std::move(gauges);
+
+  JsonValue hists{JsonValue::Object{}};
+  reg.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+    JsonValue e;
+    e["count"] = h.count();
+    e["sum"] = h.sum();
+    e["mean"] = h.mean();
+    e["min"] = h.min();
+    e["max"] = h.max();
+    e["p50"] = h.Percentile(0.50);
+    e["p95"] = h.Percentile(0.95);
+    e["p99"] = h.Percentile(0.99);
+    hists[name] = std::move(e);
+  });
+  out["histograms"] = std::move(hists);
+  return out;
+}
+
+Status WriteJson(const MetricsRegistry& reg, const std::string& path) {
+  return WriteFile(path, RegistryToJsonValue(reg).Dump());
+}
+
+Status BenchReport::Write() const {
+  std::string file = FileName();
+  MMDB_RETURN_IF_ERROR(WriteFile(file, doc_.Dump()));
+  std::printf("[bench json: %s]\n", file.c_str());
+  return Status::OK();
+}
+
+}  // namespace mmdb::obs

@@ -1,0 +1,293 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mmdb::obs {
+
+void JsonEscape(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void DumpNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    out->append("null");  // JSON has no Inf/NaN
+    return;
+  }
+  // Integral values in the exactly-representable range print without a
+  // fraction so counters stay readable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out->append(buf);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out->append(buf);
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  if (is_null()) {
+    out->append("null");
+  } else if (is_bool()) {
+    out->append(as_bool() ? "true" : "false");
+  } else if (is_number()) {
+    DumpNumber(as_number(), out);
+  } else if (is_string()) {
+    JsonEscape(as_string(), out);
+  } else if (is_array()) {
+    out->push_back('[');
+    bool first = true;
+    for (const JsonValue& v : as_array()) {
+      if (!first) out->push_back(',');
+      first = false;
+      v.DumpTo(out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : as_object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      JsonEscape(k, out);
+      out->push_back(':');
+      v.DumpTo(out);
+    }
+    out->push_back('}');
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::Corruption("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& what) {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    char c = s_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        auto str = ParseString();
+        if (!str.ok()) return str.status();
+        return JsonValue(std::move(str).value());
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue(nullptr);
+        }
+        return Err("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::strchr("+-.eE0123456789", s_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected value");
+    char* end = nullptr;
+    std::string tok = s_.substr(start, pos_ - start);
+    double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("bad number '" + tok + "'");
+    return JsonValue(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Err("expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("bad \\u escape");
+          }
+          // Basic-multilingual-plane only; encode as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Err("expected array");
+    JsonValue::Array arr;
+    if (Consume(']')) return JsonValue(std::move(arr));
+    while (true) {
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      arr.push_back(std::move(v).value());
+      if (Consume(']')) return JsonValue(std::move(arr));
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Err("expected object");
+    JsonValue::Object obj;
+    if (Consume('}')) return JsonValue(std::move(obj));
+    while (true) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Err("expected ':'");
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      obj[std::move(key).value()] = std::move(v).value();
+      if (Consume('}')) return JsonValue(std::move(obj));
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Status WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  int rc = std::fclose(f);
+  if (n != text.size() || rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string out;
+  char buf[1 << 14];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace mmdb::obs

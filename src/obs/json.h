@@ -1,0 +1,92 @@
+#ifndef MMDB_OBS_JSON_H_
+#define MMDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmdb::obs {
+
+/// A minimal JSON document model used by the observability layer: the
+/// tracer and the metrics exporter build documents with it, and tests
+/// parse emitted files back to validate them. Not a general-purpose
+/// library — no unicode escapes beyond \uXXXX pass-through, object keys
+/// are kept in sorted order (std::map) so output is deterministic.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}  // NOLINT
+  JsonValue(bool b) : v_(b) {}                // NOLINT
+  JsonValue(double d) : v_(d) {}              // NOLINT
+  JsonValue(int64_t i) : v_(static_cast<double>(i)) {}   // NOLINT
+  JsonValue(uint64_t u) : v_(static_cast<double>(u)) {}  // NOLINT
+  JsonValue(int i) : v_(static_cast<double>(i)) {}       // NOLINT
+  JsonValue(const char* s) : v_(std::string(s)) {}       // NOLINT
+  JsonValue(std::string s) : v_(std::move(s)) {}         // NOLINT
+  JsonValue(Array a) : v_(std::move(a)) {}               // NOLINT
+  JsonValue(Object o) : v_(std::move(o)) {}              // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member access; creates the member (as null) on mutable use.
+  JsonValue& operator[](const std::string& key) {
+    if (!is_object()) v_ = Object{};
+    return std::get<Object>(v_)[key];
+  }
+  /// Null-safe lookup: returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+  void push_back(JsonValue v) {
+    if (!is_array()) v_ = Array{};
+    std::get<Array>(v_).push_back(std::move(v));
+  }
+
+  /// Serializes to a compact JSON string.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Appends `s` to `*out` as a JSON string literal (quotes + escapes).
+void JsonEscape(const std::string& s, std::string* out);
+
+/// Parses a complete JSON document. Trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Writes `text` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& text);
+
+/// Reads the entire file at `path`.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace mmdb::obs
+
+#endif  // MMDB_OBS_JSON_H_

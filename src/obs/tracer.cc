@@ -1,0 +1,82 @@
+#include "obs/tracer.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace mmdb::obs {
+
+namespace {
+
+const char* TrackName(Track t) {
+  switch (t) {
+    case Track::kMainCpu: return "main-cpu";
+    case Track::kRecoveryCpu: return "recovery-cpu";
+    case Track::kLogDisk: return "log-disk";
+    case Track::kCheckpointDisk: return "checkpoint-disk";
+    case Track::kSystem: return "system";
+  }
+  return "unknown";
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string Tracer::ToJson() const {
+  // Built by hand rather than through JsonValue: traces can hold many
+  // thousands of events and the format is flat.
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  // Process-name metadata so Perfetto labels the swimlanes.
+  for (Track t : {Track::kMainCpu, Track::kRecoveryCpu, Track::kLogDisk,
+                  Track::kCheckpointDisk, Track::kSystem}) {
+    comma();
+    out.append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+    out.append(std::to_string(static_cast<uint32_t>(t)));
+    out.append(",\"tid\":0,\"args\":{\"name\":");
+    JsonEscape(TrackName(t), &out);
+    out.append("}}");
+  }
+
+  for (const Event& e : events_) {
+    comma();
+    out.append("{\"ph\":\"");
+    out.push_back(e.phase);
+    out.append("\",\"name\":");
+    JsonEscape(e.name, &out);
+    out.append(",\"cat\":");
+    JsonEscape(e.category, &out);
+    out.append(",\"pid\":");
+    out.append(std::to_string(static_cast<uint32_t>(e.track)));
+    out.append(",\"tid\":0,\"ts\":");
+    AppendNumber(&out, static_cast<double>(e.ts_ns) * 1e-3);
+    if (e.phase == 'X') {
+      out.append(",\"dur\":");
+      AppendNumber(&out, static_cast<double>(e.dur_ns) * 1e-3);
+    } else if (e.phase == 'i') {
+      out.append(",\"s\":\"g\"");  // global-scope instant
+    }
+    out.append("}");
+  }
+  out.append("]}");
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+}  // namespace mmdb::obs

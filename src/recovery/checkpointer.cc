@@ -35,6 +35,7 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
   Database& db = *db_;
   PartitionId pid = req->partition;
   bool is_catalog = pid.segment == db.v_->catalog_segment;
+  uint64_t ckpt_start_ns = db.clock_.now_ns();
 
   // Locate the partition's descriptor.
   PartitionDescriptor* d = nullptr;
@@ -189,6 +190,12 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
     case CheckpointTrigger::kForced: ++completed_forced_; break;
   }
   ++db.checkpoints_completed_;
+  db.m_ckpt_completed_->Add(1);
+  db.m_ckpt_duration_ns_->Record(
+      static_cast<double>(db.clock_.now_ns() - ckpt_start_ns));
+  db.tracer_.Span(obs::Track::kCheckpointDisk, "checkpoint",
+                  "checkpoint " + pid.ToString(), ckpt_start_ns,
+                  db.clock_.now_ns() - ckpt_start_ns);
 
   // Roll retired log extents onto the archive.
   MMDB_RETURN_IF_ERROR(

@@ -15,6 +15,26 @@ RecoveryManager::RecoveryManager(Config config, StableLogBuffer* slb,
       log_writer_(log_writer),
       cpu_(recovery_cpu) {}
 
+void RecoveryManager::AttachMetrics(obs::MetricsRegistry* reg) {
+  m_records_sorted_ = reg->counter("recovery.records_sorted");
+  m_ckpt_update_ = reg->counter("recovery.ckpt_requests_update_count");
+  m_ckpt_age_ = reg->counter("recovery.ckpt_requests_age");
+  m_window_slack_ = reg->gauge("log.window_slack_pages");
+  UpdateWindowSlack();
+}
+
+void RecoveryManager::UpdateWindowSlack() {
+  if (m_window_slack_ == nullptr) return;
+  if (first_lsn_list_.empty()) {
+    m_window_slack_->Set(static_cast<double>(log_writer_->config().window_pages));
+    return;
+  }
+  uint64_t head = first_lsn_list_.begin()->first;
+  uint64_t boundary = log_writer_->age_boundary();
+  m_window_slack_->Set(head > boundary ? static_cast<double>(head - boundary)
+                                       : 0.0);
+}
+
 Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns) {
   uint64_t n = 0;
   while (n < max_records && slb_->HasCommittedRecords()) {
@@ -70,6 +90,7 @@ Status RecoveryManager::SortOne(const LogRecord& rec, uint64_t now_ns) {
   ++bin->update_count;
   ++bin->lifetime_updates;
   ++records_sorted_;
+  if (m_records_sorted_ != nullptr) m_records_sorted_->Add(1);
 
   // Update-count checkpoint trigger (§2.3.3).
   if (bin->update_count >= config_.n_update && !bin->checkpoint_requested) {
@@ -78,6 +99,7 @@ Status RecoveryManager::SortOne(const LogRecord& rec, uint64_t now_ns) {
                                 CheckpointTrigger::kUpdateCount)) {
       bin->checkpoint_requested = true;
       ++ckpt_update_count_;
+      if (m_ckpt_update_ != nullptr) m_ckpt_update_->Add(1);
     }
   }
   return Status::OK();
@@ -98,6 +120,7 @@ Status RecoveryManager::FlushBin(uint32_t bin_index, PartitionBin* bin,
     first_lsn_list_[bin->first_page_lsn] = bin_index;
   }
   CheckAgeTriggers();
+  UpdateWindowSlack();
   return Status::OK();
 }
 
@@ -118,6 +141,7 @@ void RecoveryManager::CheckAgeTriggers() {
       if (slb_->RequestCheckpoint(bin->partition, CheckpointTrigger::kAge)) {
         bin->checkpoint_requested = true;
         ++ckpt_age_;
+        if (m_ckpt_age_ != nullptr) m_ckpt_age_->Add(1);
       }
     }
     // Keep the entry until the checkpoint finishes and resets the bin;
@@ -159,6 +183,7 @@ Status RecoveryManager::OnCheckpointFinished(uint32_t bin_index,
   // Remove from the First-LSN list and reset the bin.
   if (bin->first_page_lsn != kNoLsn) {
     first_lsn_list_.erase(bin->first_page_lsn);
+    UpdateWindowSlack();
   }
   return slt_->ResetAfterCheckpoint(bin_index);
 }

@@ -9,6 +9,7 @@
 #include "log/log_disk.h"
 #include "log/slb.h"
 #include "log/slt.h"
+#include "obs/metrics.h"
 #include "sim/cpu.h"
 #include "util/status.h"
 
@@ -43,6 +44,12 @@ class RecoveryManager {
 
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Registers the sort process's metric series (`recovery.*`) plus the
+  /// log-window pressure gauge `log.window_slack_pages`: how many pages
+  /// the oldest active partition's first log page is ahead of the age
+  /// boundary (0 = age checkpoints firing now).
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   /// Sorts up to `max_records` committed records into partition bins,
   /// flushing full pages and raising checkpoint requests. Returns the
@@ -91,6 +98,7 @@ class RecoveryManager {
   Status SortOne(const LogRecord& rec, uint64_t now_ns);
   Status FlushBin(uint32_t bin_index, PartitionBin* bin, uint64_t now_ns);
   void CheckAgeTriggers();
+  void UpdateWindowSlack();
 
   Config config_;
   StableLogBuffer* slb_;
@@ -114,6 +122,12 @@ class RecoveryManager {
   uint64_t ckpt_update_count_ = 0;
   uint64_t ckpt_age_ = 0;
   uint64_t archive_pages_ = 0;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Counter* m_records_sorted_ = nullptr;
+  obs::Counter* m_ckpt_update_ = nullptr;
+  obs::Counter* m_ckpt_age_ = nullptr;
+  obs::Gauge* m_window_slack_ = nullptr;
 };
 
 }  // namespace mmdb

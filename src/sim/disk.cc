@@ -8,6 +8,16 @@ namespace {
 constexpr double kMsToNs = 1e6;
 }  // namespace
 
+void Disk::AttachMetrics(obs::MetricsRegistry* reg) {
+  const std::string p = "disk." + name_ + ".";
+  m_pages_written_ = reg->counter(p + "pages_written");
+  m_pages_read_ = reg->counter(p + "pages_read");
+  m_bytes_written_ = reg->counter(p + "bytes_written");
+  m_bytes_read_ = reg->counter(p + "bytes_read");
+  m_write_ns_ = reg->histogram(p + "write_ns");
+  m_read_ns_ = reg->histogram(p + "read_ns");
+}
+
 uint64_t Disk::PositioningNs(SeekClass seek) const {
   double ms = params_.settle_ms;
   switch (seek) {
@@ -36,6 +46,7 @@ uint64_t Disk::WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
   ++pages_written_;
   if (seek != SeekClass::kSequential) ++seeks_;
   bytes_written_ += data.size();
+  NoteWrite(1, data.size(), now_ns, done);
   return done;
 }
 
@@ -50,14 +61,17 @@ uint64_t Disk::WriteTrack(uint64_t first_page_no,
   uint64_t done = start + pos + xfer;
   busy_until_ns_ = done;
   busy_ns_total_ += static_cast<double>(pos + xfer);
+  uint64_t track_bytes = 0;
   for (size_t i = 0; i < pages.size(); ++i) {
     MMDB_CHECK(pages[i].size() <= params_.page_size_bytes);
     store_[first_page_no + i] = pages[i];
     bytes_written_ += pages[i].size();
+    track_bytes += pages[i].size();
   }
   pages_written_ += pages.size();
   ++tracks_written_;
   if (seek != SeekClass::kSequential) ++seeks_;
+  NoteWrite(pages.size(), track_bytes, now_ns, done);
   return done;
 }
 
@@ -82,6 +96,7 @@ Status Disk::ReadPage(uint64_t page_no, uint64_t now_ns, SeekClass seek,
   ++pages_read_;
   if (seek != SeekClass::kSequential) ++seeks_;
   bytes_read_ += it->second.size();
+  NoteRead(1, it->second.size(), now_ns, done);
   return Status::OK();
 }
 
@@ -93,6 +108,7 @@ Status Disk::ReadTrack(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
     return Status::IOError("media failure on disk " + name_);
   }
   data->clear();
+  uint64_t track_bytes = 0;
   for (uint32_t i = 0; i < pages; ++i) {
     auto it = store_.find(first_page_no + i);
     if (it == store_.end()) {
@@ -102,6 +118,7 @@ Status Disk::ReadTrack(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
     }
     data->push_back(it->second);
     bytes_read_ += it->second.size();
+    track_bytes += it->second.size();
   }
   uint64_t start = BeginOp(now_ns);
   uint64_t pos = PositioningNs(seek);
@@ -114,6 +131,7 @@ Status Disk::ReadTrack(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
   *done_ns = done;
   pages_read_ += pages;
   if (seek != SeekClass::kSequential) ++seeks_;
+  NoteRead(pages, track_bytes, now_ns, done);
   return Status::OK();
 }
 

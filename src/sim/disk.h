@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace mmdb::sim {
@@ -67,6 +68,11 @@ class Disk {
   const std::string& name() const { return name_; }
   const DiskParams& params() const { return params_; }
 
+  /// Registers this disk's metric series (`disk.<name>.*`) with `reg`:
+  /// read/write counters plus an observed-latency histogram per
+  /// direction (queueing + positioning + transfer, virtual ns).
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
   /// Submit a one-page write. Returns the completion time (ns).
   uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
                      uint64_t now_ns, SeekClass seek);
@@ -115,6 +121,20 @@ class Disk {
   uint64_t BeginOp(uint64_t now_ns) {
     return now_ns > busy_until_ns_ ? now_ns : busy_until_ns_;
   }
+  void NoteWrite(uint64_t pages, uint64_t bytes, uint64_t now_ns,
+                 uint64_t done_ns) {
+    if (m_pages_written_ == nullptr) return;
+    m_pages_written_->Add(pages);
+    m_bytes_written_->Add(bytes);
+    m_write_ns_->Record(static_cast<double>(done_ns - now_ns));
+  }
+  void NoteRead(uint64_t pages, uint64_t bytes, uint64_t now_ns,
+                uint64_t done_ns) {
+    if (m_pages_read_ == nullptr) return;
+    m_pages_read_->Add(pages);
+    m_bytes_read_->Add(bytes);
+    m_read_ns_->Record(static_cast<double>(done_ns - now_ns));
+  }
 
   std::string name_;
   DiskParams params_;
@@ -129,6 +149,14 @@ class Disk {
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;
   double busy_ns_total_ = 0;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Counter* m_pages_written_ = nullptr;
+  obs::Counter* m_pages_read_ = nullptr;
+  obs::Counter* m_bytes_written_ = nullptr;
+  obs::Counter* m_bytes_read_ = nullptr;
+  obs::Histogram* m_write_ns_ = nullptr;
+  obs::Histogram* m_read_ns_ = nullptr;
 };
 
 /// A duplexed pair of disks (the paper's log disks are duplexed).
@@ -140,6 +168,11 @@ class DuplexedDisk {
  public:
   DuplexedDisk(std::string name, DiskParams params)
       : primary_(name + "-a", params), mirror_(name + "-b", params) {}
+
+  void AttachMetrics(obs::MetricsRegistry* reg) {
+    primary_.AttachMetrics(reg);
+    mirror_.AttachMetrics(reg);
+  }
 
   uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
                      uint64_t now_ns, SeekClass seek) {

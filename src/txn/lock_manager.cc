@@ -61,10 +61,12 @@ Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
   for (const Holder& h : holders) {
     if (h.txn_id != txn_id && !Compatible(effective, h.mode)) {
       ++conflicts_;
+      if (m_conflicts_ != nullptr) m_conflicts_->Add(1);
       return Status::Busy("lock conflict");
     }
   }
   ++acquisitions_;
+  if (m_acquisitions_ != nullptr) m_acquisitions_->Add(1);
   if (mine != nullptr) {
     mine->mode = effective;
     return Status::OK();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/addr.h"
 #include "util/status.h"
 
@@ -54,6 +55,14 @@ class LockManager {
  public:
   LockManager() = default;
 
+  /// Registers the lock manager's metric series (`lock.*`). The lock
+  /// table lives in volatile memory and is rebuilt empty after a crash,
+  /// so these are volatile-scope: they reset with the state they measure.
+  void AttachMetrics(obs::MetricsRegistry* reg) {
+    m_acquisitions_ = reg->counter("lock.acquisitions", obs::Scope::kVolatile);
+    m_conflicts_ = reg->counter("lock.conflicts", obs::Scope::kVolatile);
+  }
+
   /// Acquires (or upgrades to) `mode` on `res` for `txn_id`.
   Status Acquire(uint64_t txn_id, const LockResource& res, LockMode mode);
 
@@ -81,6 +90,10 @@ class LockManager {
   std::unordered_map<uint64_t, std::vector<LockResource>> by_txn_;
   uint64_t conflicts_ = 0;
   uint64_t acquisitions_ = 0;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Counter* m_conflicts_ = nullptr;
+  obs::Counter* m_acquisitions_ = nullptr;
 };
 
 }  // namespace mmdb

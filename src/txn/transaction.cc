@@ -8,6 +8,7 @@ Transaction* TransactionManager::Begin(TxnKind kind) {
   Transaction* raw = txn.get();
   active_[id] = std::move(txn);
   ++begun_;
+  if (m_begun_ != nullptr) m_begun_->Add(1);
   return raw;
 }
 

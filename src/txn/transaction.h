@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace mmdb {
@@ -51,12 +52,18 @@ class Transaction {
     redo_bytes_ += bytes;
   }
 
+  /// Virtual time when the transaction began (set by Database::Begin);
+  /// used for per-transaction trace spans and latency histograms.
+  uint64_t begin_ns() const { return begin_ns_; }
+  void set_begin_ns(uint64_t ns) { begin_ns_ = ns; }
+
  private:
   uint64_t id_;
   TxnKind kind_;
   TxnState state_ = TxnState::kActive;
   uint64_t redo_records_ = 0;
   uint64_t redo_bytes_ = 0;
+  uint64_t begin_ns_ = 0;
 };
 
 /// Issues transaction ids and tracks active transactions. Ids never
@@ -65,6 +72,15 @@ class Transaction {
 class TransactionManager {
  public:
   TransactionManager() = default;
+
+  /// Registers the manager's metric series (`txn.*`). Transaction state
+  /// is volatile — in-flight work vanishes at a crash and counts restart
+  /// from zero with the new manager — so these are volatile-scope.
+  void AttachMetrics(obs::MetricsRegistry* reg) {
+    m_begun_ = reg->counter("txn.begun", obs::Scope::kVolatile);
+    m_committed_ = reg->counter("txn.committed", obs::Scope::kVolatile);
+    m_aborted_ = reg->counter("txn.aborted", obs::Scope::kVolatile);
+  }
 
   Transaction* Begin(TxnKind kind = TxnKind::kUser);
 
@@ -81,8 +97,14 @@ class TransactionManager {
   uint64_t begun() const { return begun_; }
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }
-  void NoteCommit() { ++committed_; }
-  void NoteAbort() { ++aborted_; }
+  void NoteCommit() {
+    ++committed_;
+    if (m_committed_ != nullptr) m_committed_->Add(1);
+  }
+  void NoteAbort() {
+    ++aborted_;
+    if (m_aborted_ != nullptr) m_aborted_->Add(1);
+  }
 
   /// Crash: all in-flight transactions simply vanish with the volatile
   /// state they touched.
@@ -94,6 +116,11 @@ class TransactionManager {
   uint64_t begun_ = 0;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+
+  // Optional registry series (null until AttachMetrics).
+  obs::Counter* m_begun_ = nullptr;
+  obs::Counter* m_committed_ = nullptr;
+  obs::Counter* m_aborted_ = nullptr;
 };
 
 }  // namespace mmdb

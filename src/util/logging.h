@@ -16,6 +16,64 @@
     }                                                                      \
   } while (0)
 
+// Debug-only check: compiled out entirely under NDEBUG (the condition is
+// not evaluated; `sizeof` keeps referenced variables "used" so release
+// builds don't warn).
+#ifdef NDEBUG
+#define MMDB_DCHECK(cond) \
+  do {                    \
+    (void)sizeof(cond);   \
+  } while (0)
+#else
 #define MMDB_DCHECK(cond) MMDB_CHECK(cond)
+#endif
+
+namespace mmdb::logging {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Process-wide minimum level for MMDB_LOG; messages below it are
+/// suppressed. Defaults to kWarn so library code stays quiet in tests
+/// and benches unless a diagnostic level is requested.
+inline Level& MinLevel() {
+  static Level level = Level::kWarn;
+  return level;
+}
+
+inline const char* LevelName(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace mmdb::logging
+
+#define MMDB_LOG_LEVEL_DEBUG ::mmdb::logging::Level::kDebug
+#define MMDB_LOG_LEVEL_INFO ::mmdb::logging::Level::kInfo
+#define MMDB_LOG_LEVEL_WARN ::mmdb::logging::Level::kWarn
+#define MMDB_LOG_LEVEL_ERROR ::mmdb::logging::Level::kError
+
+// Leveled diagnostic logging with printf formatting:
+//   MMDB_LOG(INFO, "recovered %llu partitions", (unsigned long long)n);
+// Levels: DEBUG, INFO, WARN, ERROR. Filtered by logging::MinLevel().
+#define MMDB_LOG(level, ...)                                                \
+  do {                                                                      \
+    ::mmdb::logging::Level _lvl = MMDB_LOG_LEVEL_##level;                   \
+    if (_lvl >= ::mmdb::logging::MinLevel()) {                              \
+      std::fprintf(stderr, "[%s %s:%d] ", ::mmdb::logging::LevelName(_lvl), \
+                   __FILE__, __LINE__);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fputc('\n', stderr);                                             \
+    }                                                                       \
+  } while (0)
 
 #endif  // MMDB_UTIL_LOGGING_H_

@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/database.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+using obs::Histogram;
+using obs::JsonValue;
+using obs::MetricsRegistry;
+using obs::ParseJson;
+using obs::Scope;
+
+TEST(CounterTest, AddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  obs::Gauge g;
+  g.Set(10.0);
+  g.Add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  // Bounds are inclusive upper limits; one extra overflow bucket.
+  Histogram h({10.0, 20.0, 40.0});
+  h.Record(5);    // bucket 0
+  h.Record(10);   // bucket 0 (inclusive)
+  h.Record(11);   // bucket 1
+  h.Record(40);   // bucket 2
+  h.Record(100);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 166.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 166.0 / 5.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(Histogram::DefaultLatencyBoundsNs());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentilesClampedByObservedMinMax) {
+  Histogram h({1000.0, 2000.0, 4000.0});
+  for (int i = 0; i < 100; ++i) h.Record(1500.0);
+  // All mass in one bucket: interpolation cannot escape [min, max].
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1500.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1500.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1500.0);
+}
+
+TEST(HistogramTest, PercentileOrderingOnSpreadData) {
+  Histogram h(Histogram::DefaultLatencyBoundsNs());
+  // 1..1000 us uniformly.
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1000.0);
+  double p50 = h.Percentile(0.50);
+  double p95 = h.Percentile(0.95);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // p50 of a uniform 1..1000us distribution is near 500us (bucketed
+  // estimate: allow the bucket's resolution as error).
+  EXPECT_GT(p50, 250.0 * 1000.0);
+  EXPECT_LT(p50, 1000.0 * 1000.0);
+}
+
+TEST(HistogramTest, DefaultBoundsAreAscendingPowersOfTwo) {
+  auto bounds = Histogram::DefaultLatencyBoundsNs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1000.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  }
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  obs::Counter* a = reg.counter("x");
+  // Force rebalancing of the underlying map with many inserts.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  obs::Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(reg.counter_value("x"), 3u);
+}
+
+TEST(MetricsRegistryTest, ReadOnlyLookupsNeverCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter_value("absent"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("absent"), 0.0);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  size_t counters = 0;
+  reg.ForEachCounter([&](const std::string&, const obs::Counter&) {
+    ++counters;
+  });
+  EXPECT_EQ(counters, 0u);
+}
+
+TEST(MetricsRegistryTest, ResetVolatileLeavesStableAlone) {
+  MetricsRegistry reg;
+  reg.counter("stable.events")->Add(7);
+  reg.counter("volatile.events", Scope::kVolatile)->Add(9);
+  reg.gauge("volatile.level", Scope::kVolatile)->Set(2.5);
+  reg.histogram("volatile.lat", Scope::kVolatile)->Record(100.0);
+  reg.histogram("stable.lat")->Record(50.0);
+
+  reg.ResetVolatile();
+
+  EXPECT_EQ(reg.counter_value("stable.events"), 7u);
+  EXPECT_EQ(reg.find_histogram("stable.lat")->count(), 1u);
+  EXPECT_EQ(reg.counter_value("volatile.events"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("volatile.level"), 0.0);
+  EXPECT_EQ(reg.find_histogram("volatile.lat")->count(), 0u);
+
+  reg.ResetAll();
+  EXPECT_EQ(reg.counter_value("stable.events"), 0u);
+  EXPECT_EQ(reg.find_histogram("stable.lat")->count(), 0u);
+}
+
+TEST(JsonTest, RoundTrip) {
+  JsonValue doc;
+  doc["name"] = "a \"quoted\" string\nwith newline";
+  doc["num"] = 42;
+  doc["frac"] = 0.5;
+  doc["flag"] = true;
+  doc["nothing"] = nullptr;
+  doc["list"].push_back(1);
+  doc["list"].push_back("two");
+  doc["nested"]["deep"] = 3;
+
+  auto parsed = ParseJson(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = parsed.value();
+  EXPECT_EQ(v.Find("name")->as_string(), "a \"quoted\" string\nwith newline");
+  EXPECT_DOUBLE_EQ(v.Find("num")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.Find("frac")->as_number(), 0.5);
+  EXPECT_TRUE(v.Find("flag")->as_bool());
+  EXPECT_TRUE(v.Find("nothing")->is_null());
+  ASSERT_EQ(v.Find("list")->as_array().size(), 2u);
+  EXPECT_EQ(v.Find("list")->as_array()[1].as_string(), "two");
+  EXPECT_DOUBLE_EQ(v.Find("nested")->Find("deep")->as_number(), 3.0);
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+}
+
+TEST(ExportTest, RegistryToJsonHasAllSections) {
+  MetricsRegistry reg;
+  reg.counter("c1")->Add(5);
+  reg.gauge("g1")->Set(1.5);
+  obs::Histogram* h = reg.histogram("h1");
+  h->Record(1000);
+  h->Record(3000);
+
+  JsonValue v = obs::RegistryToJsonValue(reg);
+  EXPECT_DOUBLE_EQ(v.Find("counters")->Find("c1")->as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Find("gauges")->Find("g1")->as_number(), 1.5);
+  const JsonValue* hist = v.Find("histograms")->Find("h1");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->as_number(), 4000.0);
+  EXPECT_NE(hist->Find("p50"), nullptr);
+  EXPECT_NE(hist->Find("p95"), nullptr);
+  EXPECT_NE(hist->Find("p99"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Database integration: stats-vs-registry parity and crash semantics.
+// ---------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"balance", ColumnType::kInt64},
+                 {"branch", ColumnType::kInt64}});
+}
+
+void RunWorkload(Database* db, int txns) {
+  ASSERT_OK(db->CreateRelation("acct", TestSchema()));
+  for (int t = 0; t < txns; ++t) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    for (int k = 0; k < 10; ++k) {
+      ASSERT_OK(db->Insert(txn.value(), "acct",
+                           Tuple{int64_t{t * 10 + k}, int64_t{100},
+                                 int64_t{0}})
+                    .status());
+    }
+    ASSERT_OK(db->Commit(txn.value()));
+  }
+}
+
+TEST(DatabaseMetricsTest, StatsViewMatchesRegistry) {
+  Database db;
+  RunWorkload(&db, 20);
+  DatabaseStats s = db.GetStats();
+  const obs::MetricsRegistry& reg = db.metrics();
+  EXPECT_EQ(s.txns_committed, reg.counter_value("txn.committed"));
+  EXPECT_EQ(s.txns_aborted, reg.counter_value("txn.aborted"));
+  EXPECT_EQ(s.records_logged, reg.counter_value("slb.records_appended"));
+  EXPECT_EQ(s.bytes_logged, reg.counter_value("slb.bytes_appended"));
+  EXPECT_EQ(s.records_sorted, reg.counter_value("recovery.records_sorted"));
+  EXPECT_EQ(s.log_pages_flushed, reg.counter_value("log.pages_flushed"));
+  EXPECT_EQ(s.checkpoints_completed, reg.counter_value("checkpoint.completed"));
+  EXPECT_EQ(s.lock_conflicts, reg.counter_value("lock.conflicts"));
+  EXPECT_EQ(s.log_forces, reg.counter_value("log.forces"));
+  EXPECT_GT(s.txns_committed, 0u);
+  EXPECT_GT(s.records_logged, 0u);
+}
+
+TEST(DatabaseMetricsTest, TxnLatencyHistogramTracksCommits) {
+  Database db;
+  RunWorkload(&db, 10);
+  const obs::Histogram* lat = db.metrics().find_histogram("txn.latency_ns");
+  ASSERT_NE(lat, nullptr);
+  // CreateRelation commits a DDL txn as kUser workload too; at least the
+  // 10 workload commits must be present.
+  EXPECT_GE(lat->count(), 10u);
+  EXPECT_GT(lat->max(), 0.0);
+}
+
+TEST(DatabaseMetricsTest, CrashResetsVolatileKeepsStable) {
+  Database db;
+  RunWorkload(&db, 10);
+  uint64_t flushed_before = db.metrics().counter_value("log.pages_flushed");
+  uint64_t sorted_before = db.metrics().counter_value("recovery.records_sorted");
+  ASSERT_GT(db.metrics().counter_value("txn.committed"), 0u);
+
+  db.Crash();
+
+  // Volatile epoch gone with the volatile state it measured...
+  EXPECT_EQ(db.metrics().counter_value("txn.committed"), 0u);
+  EXPECT_EQ(db.metrics().counter_value("txn.begun"), 0u);
+  EXPECT_EQ(db.metrics().counter_value("lock.acquisitions"), 0u);
+  const obs::Histogram* lat = db.metrics().find_histogram("txn.latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 0u);
+  // ...while the stable store's history survives, like the store itself.
+  EXPECT_EQ(db.metrics().counter_value("log.pages_flushed"), flushed_before);
+  EXPECT_EQ(db.metrics().counter_value("recovery.records_sorted"),
+            sorted_before);
+
+  ASSERT_OK(db.Restart());
+  // Restart timings recorded on the stable side.
+  const obs::Histogram* rt = db.metrics().find_histogram("restart.total_ns");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->count(), 1u);
+
+  // The re-attached volatile components keep counting after restart.
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_OK(db.Commit(txn.value()));
+  EXPECT_EQ(db.metrics().counter_value("txn.committed"), 1u);
+}
+
+TEST(DatabaseMetricsTest, TracingDoesNotPerturbVirtualTime) {
+  uint64_t now_with = 0, now_without = 0, events = 0;
+  {
+    DatabaseOptions o;
+    o.enable_tracing = true;
+    Database db(o);
+    RunWorkload(&db, 15);
+    db.Crash();
+    ASSERT_OK(db.Restart());
+    now_with = db.now_ns();
+    events = db.tracer().event_count();
+  }
+  {
+    Database db;  // tracing off (default)
+    RunWorkload(&db, 15);
+    db.Crash();
+    ASSERT_OK(db.Restart());
+    now_without = db.now_ns();
+    EXPECT_EQ(db.tracer().event_count(), 0u);
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(now_with, now_without);
+}
+
+}  // namespace
+}  // namespace mmdb

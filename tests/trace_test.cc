@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
+#include "test_util.h"
+
+namespace mmdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnType::kInt64},
+                 {"balance", ColumnType::kInt64},
+                 {"branch", ColumnType::kInt64}});
+}
+
+// One parsed-back trace event, for structural assertions.
+struct ParsedEvent {
+  std::string phase;
+  std::string name;
+  std::string category;
+  uint32_t pid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+std::vector<ParsedEvent> ParseEvents(const obs::JsonValue& doc) {
+  std::vector<ParsedEvent> out;
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return out;
+  for (const obs::JsonValue& e : events->as_array()) {
+    ParsedEvent p;
+    p.phase = e.Find("ph")->as_string();
+    p.name = e.Find("name") ? e.Find("name")->as_string() : "";
+    if (e.Find("cat")) p.category = e.Find("cat")->as_string();
+    if (e.Find("pid")) p.pid = static_cast<uint32_t>(e.Find("pid")->as_number());
+    if (e.Find("ts")) p.ts_us = e.Find("ts")->as_number();
+    if (e.Find("dur")) p.dur_us = e.Find("dur")->as_number();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool HasSpan(const std::vector<ParsedEvent>& evs, const std::string& category,
+             const std::string& name_prefix, uint32_t pid) {
+  for (const ParsedEvent& e : evs) {
+    if (e.phase == "X" && e.category == category && e.pid == pid &&
+        e.name.rfind(name_prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  static DatabaseOptions TracedOptions() {
+    DatabaseOptions o;
+    o.enable_tracing = true;
+    o.partition_size_bytes = 16 * 1024;
+    o.log_page_bytes = 2 * 1024;
+    o.n_update = 100;  // low threshold: update-count checkpoints fire
+    return o;
+  }
+};
+
+TEST_F(TraceTest, FullLifecycleTraceIsValidChromeJson) {
+  Database db(TracedOptions());
+  ASSERT_OK(db.CreateRelation("acct", TestSchema()));
+  // A second relation nobody touches after restart, so the background
+  // sweep (not on-demand) recovers its partitions.
+  ASSERT_OK(db.CreateRelation("cold", TestSchema()));
+
+  // Enough committed updates to flush log pages and trip the update-count
+  // checkpoint trigger.
+  for (int t = 0; t < 30; ++t) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    for (int k = 0; k < 10; ++k) {
+      ASSERT_OK(db.Insert(txn.value(), "acct",
+                          Tuple{int64_t{t * 10 + k}, int64_t{1}, int64_t{0}})
+                    .status());
+      if (k == 0) {
+        ASSERT_OK(db.Insert(txn.value(), "cold",
+                            Tuple{int64_t{t}, int64_t{2}, int64_t{0}})
+                      .status());
+      }
+    }
+    ASSERT_OK(db.Commit(txn.value()));
+  }
+  ASSERT_OK(db.RunCheckpoints());
+
+  // Crash, restart, touch data (on-demand recovery), then finish the
+  // remainder in the background — the full §2.5 timeline.
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn.ok());
+    auto rows = db.Scan(txn.value(), "acct");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows.value().size(), 300u);
+    ASSERT_OK(db.Commit(txn.value()));
+  }
+  bool done = false;
+  while (!done) ASSERT_OK(db.BackgroundRecoveryStep(&done));
+
+  // Emit and parse back.
+  const std::string path = "trace_test_lifecycle.trace.json";
+  ASSERT_OK(db.tracer().WriteJson(path));
+  auto text = obs::ReadFileToString(path);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto parsed = obs::ParseJson(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& doc = parsed.value();
+
+  EXPECT_EQ(doc.Find("displayTimeUnit")->as_string(), "ms");
+  std::vector<ParsedEvent> evs = ParseEvents(doc);
+  ASSERT_GT(evs.size(), 5u);
+
+  // Process-name metadata for every track.
+  int meta = 0;
+  for (const ParsedEvent& e : evs) {
+    if (e.phase == "M" && e.name == "process_name") ++meta;
+  }
+  EXPECT_EQ(meta, 5);
+
+  uint32_t main_cpu = static_cast<uint32_t>(obs::Track::kMainCpu);
+  uint32_t log_disk = static_cast<uint32_t>(obs::Track::kLogDisk);
+  uint32_t ckpt_disk = static_cast<uint32_t>(obs::Track::kCheckpointDisk);
+  uint32_t system = static_cast<uint32_t>(obs::Track::kSystem);
+
+  EXPECT_TRUE(HasSpan(evs, "txn", "txn ", main_cpu));
+  EXPECT_TRUE(HasSpan(evs, "log", "log-flush ", log_disk));
+  EXPECT_TRUE(HasSpan(evs, "checkpoint", "checkpoint ", ckpt_disk));
+  EXPECT_TRUE(HasSpan(evs, "lifecycle", "restart", system));
+  EXPECT_TRUE(HasSpan(evs, "recovery", "on-demand ", main_cpu));
+  EXPECT_TRUE(HasSpan(evs, "recovery", "background ", main_cpu));
+
+  bool crash_instant = false;
+  for (const ParsedEvent& e : evs) {
+    if (e.phase == "i" && e.name == "crash" && e.pid == system) {
+      crash_instant = true;
+    }
+  }
+  EXPECT_TRUE(crash_instant);
+
+  // Timestamps are virtual time: non-negative, and every span ends by the
+  // final clock reading.
+  double now_us = static_cast<double>(db.now_ns()) * 1e-3;
+  for (const ParsedEvent& e : evs) {
+    if (e.phase != "X") continue;
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_LE(e.ts_us + e.dur_us, now_us + 1e-3);
+  }
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  DatabaseOptions o;  // enable_tracing defaults to false
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("acct", TestSchema()));
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_OK(
+      db.Insert(txn.value(), "acct", Tuple{int64_t{1}, int64_t{1}, int64_t{0}})
+          .status());
+  ASSERT_OK(db.Commit(txn.value()));
+  EXPECT_FALSE(db.tracer().enabled());
+  EXPECT_EQ(db.tracer().event_count(), 0u);
+}
+
+TEST_F(TraceTest, AbortedTransactionsAreLabelled) {
+  Database db(TracedOptions());
+  ASSERT_OK(db.CreateRelation("acct", TestSchema()));
+  auto txn = db.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_OK(
+      db.Insert(txn.value(), "acct", Tuple{int64_t{1}, int64_t{1}, int64_t{0}})
+          .status());
+  ASSERT_OK(db.Abort(txn.value()));
+
+  auto parsed = obs::ParseJson(db.tracer().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<ParsedEvent> evs = ParseEvents(parsed.value());
+  bool abort_span = false;
+  for (const ParsedEvent& e : evs) {
+    if (e.phase == "X" && e.category == "txn" &&
+        e.name.find("(abort)") != std::string::npos) {
+      abort_span = true;
+    }
+  }
+  EXPECT_TRUE(abort_span);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -143,9 +143,10 @@ TEST(TransactionManagerTest, LifecycleAndCounters) {
   ASSERT_OK_AND_ASSIGN(Transaction * got, tm.Get(t1->id()));
   EXPECT_EQ(got, t1);
   tm.NoteCommit();
-  tm.Finish(t1->id());
+  uint64_t t1_id = t1->id();
+  tm.Finish(t1_id);  // frees t1
   EXPECT_EQ(tm.active_count(), 1u);
-  EXPECT_TRUE(tm.Get(t1->id()).status().IsNotFound());
+  EXPECT_TRUE(tm.Get(t1_id).status().IsNotFound());
   EXPECT_EQ(tm.committed(), 1u);
 }
 
