@@ -150,6 +150,18 @@ struct RecoveryModel {
   /// transaction runs.
   double DatabaseReloadMs(double total_partitions, double total_log_pages)
       const;
+
+  /// Time (ms) to restore `total_partitions` (each with `log_pages` of
+  /// log) on `lanes` pipelined recovery lanes. Two regimes compose
+  /// additively: a device-bound floor — the single checkpoint disk must
+  /// stream every image and the duplexed log pair splits page reads two
+  /// ways, regardless of lane count — plus a CPU-bound term for the
+  /// record applies, which run on the lanes and so divide by `lanes`.
+  /// Device-bound workloads saturate early (more lanes buy nothing once
+  /// a shared disk is streaming continuously); apply-heavy workloads
+  /// keep scaling until the disks take over.
+  double ParallelRecoveryMs(double total_partitions, double lanes,
+                            double log_pages) const;
 };
 
 /// Pretty-printer used by the Table 2 bench: one row per parameter, with

@@ -81,6 +81,7 @@ void Database::AttachStableObservers() {
   m_background_ns_ = metrics_.histogram("recovery.background_ns");
   m_restart_total_ns_ = metrics_.histogram("restart.total_ns");
   m_restart_catalog_ns_ = metrics_.histogram("restart.catalog_ns");
+  m_lane_busy_ns_ = metrics_.histogram("recovery.lane_busy_ns");
 }
 
 void Database::AttachVolatileObservers() {
@@ -529,6 +530,11 @@ Status Database::WriteCatalogRootBlock() {
 
 Status Database::RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
                                           RestartReport* report) {
+  return RecoverPartitionsParallel({RecoveryWorkItem{pid, ckpt_page}}, report);
+}
+
+Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
+                                        RestartReport* report) {
   uint64_t t = clock_.now_ns();
   auto bin_idx = slt_->FindBin(pid);
   if (!bin_idx.ok()) {
@@ -539,16 +545,12 @@ Status Database::RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
   if (ckpt_page != kNoCheckpointPage) {
     uint32_t pages_per_slot =
         opts_.partition_size_bytes / opts_.log_page_bytes;
-    std::vector<std::vector<uint8_t>> pages;
-    uint64_t done = 0;
-    MMDB_RETURN_IF_ERROR(checkpoint_disk_->ReadTrack(
-        ckpt_page, pages_per_slot, t, sim::SeekClass::kRandom, &pages, &done));
-    t = done;
     std::vector<uint8_t> image;
     image.reserve(opts_.partition_size_bytes);
-    for (const auto& pg : pages) {
-      image.insert(image.end(), pg.begin(), pg.end());
-    }
+    uint64_t done = 0;
+    MMDB_RETURN_IF_ERROR(checkpoint_disk_->ReadTrackInto(
+        ckpt_page, pages_per_slot, t, sim::SeekClass::kRandom, &image, &done));
+    t = done;
     auto from = Partition::FromImage(std::move(image));
     if (!from.ok()) return from.status();
     part = std::move(from).value();
@@ -606,6 +608,7 @@ Status Database::RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
 
 Status Database::CreateRelation(const std::string& name, Schema schema) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  ++ddl_epoch_;
   if (schema.num_columns() == 0) {
     return Status::InvalidArgument("schema has no columns");
   }
@@ -631,6 +634,7 @@ Status Database::CreateIndex(const std::string& index_name,
                              const std::string& relation_name,
                              const std::string& column_name, IndexType type) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  ++ddl_epoch_;
   auto rel = v_->catalog.GetRelation(relation_name);
   if (!rel.ok()) return rel.status();
   int col = rel.value()->schema.FindColumn(column_name);
@@ -769,6 +773,7 @@ void Database::ReleaseSegmentStorage(
 
 Status Database::DropIndex(const std::string& index_name) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  ++ddl_epoch_;
   auto idx = v_->catalog.GetIndex(index_name);
   if (!idx.ok()) return idx.status();
   auto rel = v_->catalog.GetRelationById(idx.value()->relation_id);
@@ -823,6 +828,7 @@ Status Database::DropIndex(const std::string& index_name) {
 
 Status Database::DropRelation(const std::string& relation_name) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  ++ddl_epoch_;
   auto rel = v_->catalog.GetRelation(relation_name);
   if (!rel.ok()) return rel.status();
   // Drop indexes first (each in its own system transaction).
@@ -1236,6 +1242,7 @@ void Database::Crash() {
   v_->undo.Clear();
   recovery_->RebuildFirstLsnList();
   crashed_ = true;
+  ++ddl_epoch_;  // the background-sweep cursor indexed the lost catalog
   // Volatile metrics reset with the state they measured; the new lock
   // table / txn manager get fresh handle hookups.
   metrics_.ResetVolatile();
@@ -1274,64 +1281,86 @@ Status Database::RecoverRelation(const std::string& relation) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
   auto rel = v_->catalog.GetRelation(relation);
   if (!rel.ok()) return rel.status();
-  RestartReport scratch;
+  // Predeclared recovery restores the whole relation in one batch, so all
+  // recovery lanes can work on its partitions concurrently.
+  std::vector<RecoveryWorkItem> work;
   for (PartitionDescriptor& d : rel.value()->partitions) {
-    if (d.resident) continue;
-    MMDB_RETURN_IF_ERROR(
-        RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
+    if (!d.resident) work.push_back(RecoveryWorkItem{d.id, d.checkpoint_page});
   }
   for (const std::string& iname : rel.value()->index_names) {
     auto idx = v_->catalog.GetIndex(iname);
     if (!idx.ok()) return idx.status();
     for (PartitionDescriptor& d : idx.value()->partitions) {
-      if (d.resident) continue;
-      MMDB_RETURN_IF_ERROR(
-          RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
-    }
-  }
-  return Status::OK();
-}
-
-Status Database::BackgroundRecoveryStep(bool* done) {
-  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
-  *done = true;
-  RestartReport scratch;
-  for (const RelationInfo* rc : v_->catalog.AllRelations()) {
-    auto rel = v_->catalog.GetRelation(rc->name);
-    for (PartitionDescriptor& d : rel.value()->partitions) {
-      if (d.resident) continue;
-      uint64_t start_ns = clock_.now_ns();
-      MMDB_RETURN_IF_ERROR(
-          RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
-      ++background_recoveries_;
-      m_background_count_->Add(1);
-      m_background_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
-      tracer_.Span(obs::Track::kMainCpu, "recovery",
-                   "background " + d.id.ToString(), start_ns,
-                   clock_.now_ns() - start_ns);
-      *done = false;
-      return Status::OK();
-    }
-    for (const std::string& iname : rel.value()->index_names) {
-      auto idx = v_->catalog.GetIndex(iname);
-      if (!idx.ok()) return idx.status();
-      for (PartitionDescriptor& d : idx.value()->partitions) {
-        if (d.resident) continue;
-        uint64_t start_ns = clock_.now_ns();
-        MMDB_RETURN_IF_ERROR(
-            RecoverPartitionInternal(d.id, d.checkpoint_page, &scratch));
-        ++background_recoveries_;
-        m_background_count_->Add(1);
-        m_background_ns_->Record(
-            static_cast<double>(clock_.now_ns() - start_ns));
-        tracer_.Span(obs::Track::kMainCpu, "recovery",
-                     "background " + d.id.ToString(), start_ns,
-                     clock_.now_ns() - start_ns);
-        *done = false;
-        return Status::OK();
+      if (!d.resident) {
+        work.push_back(RecoveryWorkItem{d.id, d.checkpoint_page});
       }
     }
   }
+  if (work.empty()) return Status::OK();
+  RestartReport scratch;
+  return RecoverPartitionsParallel(work, &scratch);
+}
+
+Status Database::BackgroundRecoveryStep(bool* done, RestartReport* report) {
+  if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  *done = true;
+  if (bg_cursor_.epoch != ddl_epoch_) {
+    bg_cursor_ = BackgroundCursor{};
+    bg_cursor_.epoch = ddl_epoch_;
+  }
+  // One step recovers up to one batch of lanes. The cursor resumes the
+  // catalog scan where the previous step stopped: within one DDL epoch
+  // residency only ever flips non-resident -> resident, so everything
+  // behind the cursor is known resident and a full sweep is
+  // O(partitions), not O(partitions²).
+  const size_t batch = std::max<uint32_t>(1, opts_.recovery_parallelism);
+  std::vector<RecoveryWorkItem> work;
+  auto rels = v_->catalog.AllRelations();
+  while (bg_cursor_.relation < rels.size() && work.size() < batch) {
+    auto rel = v_->catalog.GetRelation(rels[bg_cursor_.relation]->name);
+    if (!rel.ok()) return rel.status();
+    // Chain 0 is the relation's own partition list, chain 1+i is index i's.
+    const size_t chains = 1 + rel.value()->index_names.size();
+    while (bg_cursor_.chain < chains && work.size() < batch) {
+      std::vector<PartitionDescriptor>* parts;
+      if (bg_cursor_.chain == 0) {
+        parts = &rel.value()->partitions;
+      } else {
+        auto idx = v_->catalog.GetIndex(
+            rel.value()->index_names[bg_cursor_.chain - 1]);
+        if (!idx.ok()) return idx.status();
+        parts = &idx.value()->partitions;
+      }
+      while (bg_cursor_.partition < parts->size() && work.size() < batch) {
+        PartitionDescriptor& d = (*parts)[bg_cursor_.partition];
+        if (!d.resident) {
+          work.push_back(RecoveryWorkItem{d.id, d.checkpoint_page});
+        }
+        ++bg_cursor_.partition;
+      }
+      if (bg_cursor_.partition >= parts->size()) {
+        bg_cursor_.partition = 0;
+        ++bg_cursor_.chain;
+      }
+    }
+    if (bg_cursor_.chain >= chains) {
+      bg_cursor_.chain = 0;
+      ++bg_cursor_.relation;
+    }
+  }
+  if (work.empty()) return Status::OK();
+
+  *done = false;
+  uint64_t start_ns = clock_.now_ns();
+  RestartReport scratch;
+  MMDB_RETURN_IF_ERROR(
+      RecoverPartitionsParallel(work, report != nullptr ? report : &scratch));
+  background_recoveries_ += work.size();
+  m_background_count_->Add(work.size());
+  m_background_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
+  tracer_.Span(obs::Track::kMainCpu, "recovery",
+               "background batch (" + std::to_string(work.size()) + ")",
+               start_ns, clock_.now_ns() - start_ns);
   return Status::OK();
 }
 

@@ -99,6 +99,19 @@ struct DatabaseOptions {
   double lock_instructions = 25.0;
   double apply_instructions_per_record = 50.0;
 
+  /// Post-crash recovery lanes: up to this many partitions are restored
+  /// concurrently, with checkpoint-image and log-page reads fanned across
+  /// the devices and contention serialized by per-device queues (the
+  /// device-queue scheduler). Used by Restart() phase 1 (catalogs),
+  /// RecoverRelation, BackgroundRecoveryStep, and the kFullReload sweep.
+  uint32_t recovery_parallelism = 1;
+  /// Pipeline each partition's recovery: checkpoint-image transfer,
+  /// ordered log-page reads, and record apply overlap on the virtual
+  /// timeline (§2.5.1 "overlapped with apply"). When false — and
+  /// recovery_parallelism is 1 — recovery runs the strictly serial legacy
+  /// chain, the ablation baseline.
+  bool pipelined_recovery = true;
+
   RestartPolicy restart_policy = RestartPolicy::kOnDemand;
   CommitMode commit_mode = CommitMode::kStableMemory;
   /// Group-commit batch size (transactions per forced flush).
@@ -241,9 +254,12 @@ class Database {
   /// Predeclared recovery (paper §2.5 method 1): restore a relation and
   /// its indexes in their entirety.
   Status RecoverRelation(const std::string& relation);
-  /// Recovers one more partition (low-priority background recovery,
-  /// §2.5). Sets *done when nothing is left to recover.
-  Status BackgroundRecoveryStep(bool* done);
+  /// Recovers one more batch of partitions (low-priority background
+  /// recovery, §2.5; batch size = recovery_parallelism). Sets *done when
+  /// nothing is left to recover. If `report` is given, recovery counters
+  /// accumulate into it (the kFullReload restart sweep passes its
+  /// RestartReport so last_restart() covers the whole reload).
+  Status BackgroundRecoveryStep(bool* done, RestartReport* report = nullptr);
   bool FullyResident();
   bool IsRelationResident(const std::string& relation);
 
@@ -342,8 +358,24 @@ class Database {
   Status EnsureCatalogPartitionExists();
 
   /// Rebuilds one partition from its checkpoint image + log chain.
+  /// Dispatches to the pipelined scheduler path unless the options select
+  /// the serial ablation baseline.
   Status RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
                                   RestartReport* report);
+  /// The strictly serial legacy chain (checkpoint read, then log reads,
+  /// then apply) — the lanes=1 non-pipelined ablation baseline.
+  Status RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
+                                RestartReport* report);
+
+  /// One unit of parallel-recovery work.
+  struct RecoveryWorkItem {
+    PartitionId pid;
+    uint64_t ckpt_page = 0;
+  };
+  /// Restores `work` on up to recovery_parallelism pipelined lanes over
+  /// the device-queue scheduler (defined in parallel_recovery.cc).
+  Status RecoverPartitionsParallel(const std::vector<RecoveryWorkItem>& work,
+                                   RestartReport* report);
 
   Result<RelationInfo*> LookupRelation(Transaction* txn,
                                        const std::string& name);
@@ -400,6 +432,20 @@ class Database {
   bool in_maintenance_ = false;  // guards checkpoint/pump recursion
   RestartReport last_restart_;
 
+  /// Background-sweep resume cursor: position in the catalog scan where
+  /// the previous BackgroundRecoveryStep stopped, so a full sweep is
+  /// O(partitions) instead of O(partitions²). Invalidated (epoch
+  /// mismatch) by any DDL, crash, or restart, since those change the
+  /// catalog iteration order the cursor indexes into.
+  struct BackgroundCursor {
+    uint64_t epoch = ~0ull;  // mismatches ddl_epoch_ until first use
+    size_t relation = 0;     // ordinal into Catalog::AllRelations()
+    size_t chain = 0;        // 0 = relation partitions, 1+i = index i
+    size_t partition = 0;    // ordinal within the chain's partitions
+  };
+  BackgroundCursor bg_cursor_;
+  uint64_t ddl_epoch_ = 0;
+
   // stats not covered by components
   uint64_t on_demand_recoveries_ = 0;
   uint64_t background_recoveries_ = 0;
@@ -426,6 +472,9 @@ class Database {
   obs::Histogram* m_background_ns_ = nullptr;
   obs::Histogram* m_restart_total_ns_ = nullptr;
   obs::Histogram* m_restart_catalog_ns_ = nullptr;
+  /// One sample per lane per parallel-recovery batch: that lane's busy
+  /// (servicing, not waiting) virtual ns.
+  obs::Histogram* m_lane_busy_ns_ = nullptr;
 };
 
 /// EntityStore adapter binding a transaction to the database's logged

@@ -1,0 +1,312 @@
+// Parallel, pipelined post-crash partition recovery (paper §2.5.1).
+//
+// The restart path is rewritten on the device-queue scheduler: each of up
+// to DatabaseOptions::recovery_parallelism lanes restores one partition at
+// a time, and within a partition the checkpoint-image transfer, the
+// ordered log-page reads, and the CPU record-apply overlap on the virtual
+// timeline. Device contention — the checkpoint disk, the two duplexed log
+// spindles, and each lane's CPU — is serialized by the devices' own
+// busy-until queues; the EventScheduler merely guarantees requests reach
+// every device in ready-time order, which makes the per-device service
+// order FCFS and the whole schedule deterministic.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "sim/scheduler.h"
+#include "util/logging.h"
+
+namespace mmdb {
+
+Status Database::RecoverPartitionsParallel(
+    const std::vector<RecoveryWorkItem>& work, RestartReport* report) {
+  if (work.empty()) return Status::OK();
+
+  // Ablation baseline: one lane, no pipelining — the strictly serial
+  // legacy chain, byte- and timing-identical to the pre-scheduler path.
+  if (!opts_.pipelined_recovery && opts_.recovery_parallelism <= 1) {
+    for (const RecoveryWorkItem& w : work) {
+      MMDB_RETURN_IF_ERROR(RecoverPartitionSerial(w.pid, w.ckpt_page, report));
+    }
+    return Status::OK();
+  }
+
+  const uint64_t t0 = clock_.now_ns();
+  const uint32_t pages_per_slot =
+      opts_.partition_size_bytes / opts_.log_page_bytes;
+  const double apply_ns_per_record =
+      opts_.apply_instructions_per_record * main_cpu_.ns_per_instruction();
+  const size_t lanes = std::min<size_t>(
+      std::max<uint32_t>(1, opts_.recovery_parallelism), work.size());
+
+  sim::EventScheduler sched;
+  std::vector<sim::DeviceTimeline> lane_cpu;
+  lane_cpu.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) {
+    lane_cpu.emplace_back("lane-" + std::to_string(i));
+  }
+
+  /// One in-flight partition restore (a lane runs one at a time).
+  struct Task {
+    PartitionId pid;
+    uint32_t bin_index = 0;
+    uint64_t start_ns = 0;
+    uint64_t walk_start_ns = 0;
+    uint64_t image_done_ns = 0;
+    uint64_t first_page_lsn = 0;
+    std::unique_ptr<Partition> part;
+    /// Backward-walk work list; once the walk reaches the bin's first
+    /// page it is the complete in-order LSN list.
+    std::vector<uint64_t> known;
+  };
+
+  size_t next_item = 0;
+
+  std::function<void(size_t, uint64_t)> start_task;
+  std::function<void(size_t, std::shared_ptr<Task>, uint64_t)> walk_step;
+  std::function<void(size_t, std::shared_ptr<Task>, uint64_t)> read_and_apply;
+
+  // Pulls the next unassigned work item onto `lane` at time `now`.
+  start_task = [&](size_t lane, uint64_t now) {
+    if (next_item >= work.size()) return;  // lane drains
+    const RecoveryWorkItem item = work[next_item++];
+    auto task = std::make_shared<Task>();
+    task->pid = item.pid;
+    task->start_ns = now;
+
+    auto bin_idx = slt_->FindBin(item.pid);
+    if (!bin_idx.ok()) {
+      sched.Fail(Status::Corruption("no Stable Log Tail bin for " +
+                                    item.pid.ToString()));
+      return;
+    }
+    task->bin_index = bin_idx.value();
+
+    // Checkpoint-image transfer. The read is submitted now, so the
+    // checkpoint disk sees lanes' requests in ready-time order; its
+    // completion time is known immediately and everything downstream
+    // that touches partition memory is gated on it.
+    if (item.ckpt_page != kNoCheckpointPage) {
+      std::vector<uint8_t> image;
+      image.reserve(opts_.partition_size_bytes);
+      uint64_t done = 0;
+      Status st = checkpoint_disk_->ReadTrackInto(item.ckpt_page,
+                                                  pages_per_slot, now,
+                                                  sim::SeekClass::kRandom,
+                                                  &image, &done);
+      if (!st.ok()) {
+        sched.Fail(st);
+        return;
+      }
+      task->image_done_ns = done;
+      auto from = Partition::FromImage(std::move(image));
+      if (!from.ok()) {
+        sched.Fail(from.status());
+        return;
+      }
+      task->part = std::move(from).value();
+      if (!(task->part->id() == item.pid)) {
+        sched.Fail(Status::Corruption("checkpoint image is for wrong "
+                                      "partition"));
+        return;
+      }
+      tracer_.Span(obs::LaneTrack(static_cast<uint32_t>(lane)), "recovery",
+                   "image " + item.pid.ToString(), now, done - now);
+    } else {
+      task->image_done_ns = now;
+      task->part = std::make_unique<Partition>(
+          item.pid, opts_.partition_size_bytes, task->bin_index);
+    }
+
+    // Backward anchor walk (§2.5.1): overlaps the image transfer when
+    // pipelining; without it, the log phase waits for the image.
+    auto bin = slt_->bin(task->bin_index);
+    if (!bin.ok()) {
+      sched.Fail(bin.status());
+      return;
+    }
+    task->walk_start_ns =
+        opts_.pipelined_recovery ? now : task->image_done_ns;
+    if (bin.value()->has_disk_pages()) {
+      task->known = bin.value()->directory;
+      task->first_page_lsn = bin.value()->first_page_lsn;
+      sched.At(task->walk_start_ns, [&, lane, task](uint64_t t) {
+        walk_step(lane, task, t);
+      });
+    } else {
+      sched.At(task->walk_start_ns, [&, lane, task](uint64_t t) {
+        read_and_apply(lane, task, t);
+      });
+    }
+  };
+
+  // One backward step: read the oldest known anchor, prepend its
+  // directory, continue at the read's completion time.
+  walk_step = [&](size_t lane, std::shared_ptr<Task> task, uint64_t now) {
+    if (task->known.front() != task->first_page_lsn) {
+      ParsedLogPage page;
+      uint64_t done = 0;
+      Status st = log_writer_->ReadPageAny(task->known.front(), now,
+                                           sim::SeekClass::kNear, &page,
+                                           &done);
+      if (!st.ok()) {
+        sched.Fail(st);
+        return;
+      }
+      if (page.directory.empty()) {
+        sched.Fail(Status::Corruption(
+            "expected anchor page while walking bin " +
+            std::to_string(task->bin_index)));
+        return;
+      }
+      task->known.insert(task->known.begin(), page.directory.begin(),
+                         page.directory.end());
+      sched.At(done, [&, lane, task](uint64_t t) {
+        walk_step(lane, task, t);
+      });
+      return;
+    }
+    read_and_apply(lane, task, now);
+  };
+
+  // Forward page reads fanned across the duplexed pair, with the apply
+  // chain running on this lane's CPU as the stream prefix arrives.
+  read_and_apply = [&](size_t lane, std::shared_ptr<Task> task,
+                       uint64_t now) {
+    std::vector<uint8_t> stream;
+    std::vector<size_t> chunk_end;      // stream offset after each chunk
+    std::vector<uint64_t> chunk_avail;  // prefix-max completion time
+    uint64_t last_read_done = now;
+    for (uint64_t lsn : task->known) {
+      ParsedLogPage page;
+      uint64_t done = 0;
+      Status st = log_writer_->ReadPageAny(lsn, now, sim::SeekClass::kNear,
+                                           &page, &done);
+      if (!st.ok()) {
+        sched.Fail(st);
+        return;
+      }
+      stream.insert(stream.end(), page.payload.begin(), page.payload.end());
+      // The stream is consumed in LSN order, so a page's bytes are usable
+      // only once every earlier page has also arrived: prefix max.
+      last_read_done = std::max(last_read_done, done);
+      chunk_end.push_back(stream.size());
+      chunk_avail.push_back(last_read_done);
+      ++report->log_pages_read;
+    }
+    if (!task->known.empty()) {
+      tracer_.Span(obs::LaneTrack(static_cast<uint32_t>(lane)), "recovery",
+                   "log " + task->pid.ToString(), task->walk_start_ns,
+                   last_read_done - task->walk_start_ns);
+    }
+
+    // The bin's stable active page: a stable-memory read, no disk time.
+    auto bin = slt_->bin(task->bin_index);
+    if (!bin.ok()) {
+      sched.Fail(bin.status());
+      return;
+    }
+    if (!bin.value()->active_page.empty()) {
+      meter_->ChargeRead(bin.value()->active_page.size());
+      stream.insert(stream.end(), bin.value()->active_page.begin(),
+                    bin.value()->active_page.end());
+      chunk_end.push_back(stream.size());
+      chunk_avail.push_back(last_read_done);
+    }
+
+    std::vector<LogRecord> records;
+    Status st = ParseLogStream(stream, &records);
+    if (!st.ok()) {
+      sched.Fail(st);
+      return;
+    }
+
+    // Apply chain: a record is applicable once the chunk holding its last
+    // byte has arrived (pipelined) or once everything has (non-pipelined)
+    // — and never before the image is in memory. Batched per chunk on the
+    // lane's CPU timeline.
+    uint64_t apply_done = task->image_done_ns;
+    uint64_t first_apply_start = 0;
+    bool any_apply = false;
+    size_t rec_i = 0;
+    size_t cursor = 0;
+    for (size_t c = 0; c < chunk_end.size(); ++c) {
+      uint64_t data_ready =
+          opts_.pipelined_recovery ? chunk_avail[c] : chunk_avail.back();
+      uint64_t n = 0;
+      while (rec_i < records.size()) {
+        size_t sz = 0;
+        MMDB_CHECK(LogRecord::PeekSize(
+            std::span<const uint8_t>(stream.data() + cursor,
+                                     stream.size() - cursor),
+            &sz));
+        if (cursor + sz > chunk_end[c]) break;  // completes in a later chunk
+        Status ast = ApplyLogRecord(records[rec_i], task->part.get());
+        if (!ast.ok()) {
+          sched.Fail(ast);
+          return;
+        }
+        cursor += sz;
+        ++rec_i;
+        ++n;
+      }
+      if (n == 0) continue;
+      uint64_t ready = std::max(data_ready, apply_done);
+      uint64_t start = std::max(ready, lane_cpu[lane].busy_until_ns());
+      if (!any_apply) {
+        first_apply_start = start;
+        any_apply = true;
+      }
+      apply_done = lane_cpu[lane].Occupy(
+          ready,
+          static_cast<uint64_t>(static_cast<double>(n) * apply_ns_per_record));
+      main_cpu_.AccountInstructions(static_cast<double>(n) *
+                                    opts_.apply_instructions_per_record);
+      report->records_applied += n;
+    }
+    MMDB_CHECK(rec_i == records.size());
+    if (any_apply) {
+      tracer_.Span(obs::LaneTrack(static_cast<uint32_t>(lane)), "recovery",
+                   "apply " + task->pid.ToString(), first_apply_start,
+                   apply_done - first_apply_start);
+    }
+
+    uint64_t finish = std::max({apply_done, last_read_done,
+                                task->image_done_ns});
+    sched.At(finish, [&, lane, task](uint64_t t) {
+      Status ist = v_->pm.InstallRecovered(std::move(task->part));
+      if (!ist.ok()) {
+        sched.Fail(ist);
+        return;
+      }
+      // Catalog partitions recover before the catalog exists; their
+      // descriptors live in the stable root instead.
+      auto d = v_->catalog.FindDescriptor(task->pid);
+      if (d.ok()) d.value()->resident = true;
+      ++report->partitions_recovered;
+      tracer_.Span(obs::LaneTrack(static_cast<uint32_t>(lane)), "recovery",
+                   "recover " + task->pid.ToString(), task->start_ns,
+                   t - task->start_ns);
+      start_task(lane, t);  // lane pulls its next partition
+    });
+  };
+
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    sched.At(t0, [&, lane](uint64_t now) { start_task(lane, now); });
+  }
+  MMDB_RETURN_IF_ERROR(sched.Run());
+
+  // The last event is the latest task finish: the batch's virtual end.
+  clock_.AdvanceTo(std::max(sched.now_ns(), t0));
+  main_cpu_.IdleUntil(clock_.now_ns());
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    m_lane_busy_ns_->Record(static_cast<double>(lane_cpu[lane].busy_total_ns()));
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb

@@ -120,6 +120,20 @@ Status LogDiskWriter::ReadPage(uint64_t lsn, uint64_t now_ns,
                                uint64_t* done_ns) {
   std::vector<uint8_t> raw;
   MMDB_RETURN_IF_ERROR(disks_->ReadPage(lsn, now_ns, seek, &raw, done_ns));
+  return ParseRawPage(lsn, raw, page);
+}
+
+Status LogDiskWriter::ReadPageAny(uint64_t lsn, uint64_t now_ns,
+                                  sim::SeekClass seek, ParsedLogPage* page,
+                                  uint64_t* done_ns) {
+  std::vector<uint8_t> raw;
+  MMDB_RETURN_IF_ERROR(disks_->ReadPageAny(lsn, now_ns, seek, &raw, done_ns));
+  return ParseRawPage(lsn, raw, page);
+}
+
+Status LogDiskWriter::ParseRawPage(uint64_t lsn,
+                                   const std::vector<uint8_t>& raw,
+                                   ParsedLogPage* page) const {
   wire::Reader r(raw);
   uint64_t got_lsn, part, prev, prev_anchor;
   uint16_t n_dir, reserved;

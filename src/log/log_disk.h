@@ -104,9 +104,16 @@ class LogDiskWriter {
   Result<uint64_t> WriteArchivePage(std::span<const uint8_t> stream_bytes,
                                     uint64_t now_ns, uint64_t* done_ns);
 
-  /// Reads and parses one log page.
+  /// Reads and parses one log page (served by the primary disk).
   Status ReadPage(uint64_t lsn, uint64_t now_ns, sim::SeekClass seek,
                   ParsedLogPage* page, uint64_t* done_ns);
+
+  /// Reads and parses one log page from whichever duplexed member is free
+  /// sooner at `now_ns` — parallel recovery lanes fan their reads across
+  /// both spindles; each disk's busy-until timeline serializes the
+  /// requests it wins, so concurrent reads are timed correctly.
+  Status ReadPageAny(uint64_t lsn, uint64_t now_ns, sim::SeekClass seek,
+                     ParsedLogPage* page, uint64_t* done_ns);
 
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t pages_written() const { return next_lsn_; }
@@ -132,6 +139,9 @@ class LogDiskWriter {
                                  uint64_t prev_lsn, uint64_t prev_anchor,
                                  const std::vector<uint64_t>& dir,
                                  std::span<const uint8_t> stream_bytes) const;
+
+  Status ParseRawPage(uint64_t lsn, const std::vector<uint8_t>& raw,
+                      ParsedLogPage* page) const;
 
   void NoteFlush(const char* kind, PartitionId pid, uint64_t now_ns,
                  uint64_t done_ns);

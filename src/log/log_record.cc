@@ -47,6 +47,31 @@ void LogRecord::AppendTo(std::vector<uint8_t>* out) const {
   }
 }
 
+bool LogRecord::PeekSize(std::span<const uint8_t> buf, size_t* size) {
+  if (buf.empty()) return false;
+  switch (static_cast<LogOp>(buf[0])) {
+    case LogOp::kInsert:
+    case LogOp::kUpdate: {
+      if (buf.size() < kHeaderSize + 2) return false;
+      uint16_t len = static_cast<uint16_t>(
+          buf[kHeaderSize] | (buf[kHeaderSize + 1] << 8));
+      *size = kHeaderSize + 2 + len;
+      return true;
+    }
+    case LogOp::kDelete:
+      *size = kHeaderSize;
+      return true;
+    case LogOp::kNodeInsertEntry:
+    case LogOp::kNodeRemoveEntry:
+      *size = kHeaderSize + 8 + 12;
+      return true;
+  }
+  // Unknown op: report the header size so the caller's Parse sees (and
+  // rejects) the same bytes instead of stalling forever.
+  *size = kHeaderSize;
+  return true;
+}
+
 Result<LogRecord> LogRecord::Parse(wire::Reader* r) {
   LogRecord rec;
   uint8_t op;

@@ -58,6 +58,14 @@ struct LogRecord {
   /// Parses one record at the reader's cursor.
   static Result<LogRecord> Parse(wire::Reader* r);
 
+  /// Determines the on-wire size of the record starting at `buf` without
+  /// parsing it. Records are self-delimiting, so a stream arriving one
+  /// log page at a time can be consumed incrementally: returns false when
+  /// `buf` is too short to even hold the size information (the record's
+  /// tail is on a later page), true with `*size` (which may still exceed
+  /// buf.size()) otherwise.
+  static bool PeekSize(std::span<const uint8_t> buf, size_t* size);
+
   std::string ToString() const;
 };
 

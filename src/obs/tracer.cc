@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <cstdio>
+#include <set>
 
 #include "obs/json.h"
 
@@ -8,14 +9,18 @@ namespace mmdb::obs {
 
 namespace {
 
-const char* TrackName(Track t) {
+std::string TrackName(Track t) {
   switch (t) {
     case Track::kMainCpu: return "main-cpu";
     case Track::kRecoveryCpu: return "recovery-cpu";
     case Track::kLogDisk: return "log-disk";
     case Track::kCheckpointDisk: return "checkpoint-disk";
     case Track::kSystem: return "system";
+    default: break;
   }
+  uint32_t id = static_cast<uint32_t>(t);
+  uint32_t base = static_cast<uint32_t>(Track::kRecoveryLaneBase);
+  if (id >= base) return "recovery-lane-" + std::to_string(id - base);
   return "unknown";
 }
 
@@ -40,9 +45,13 @@ std::string Tracer::ToJson() const {
     first = false;
   };
 
-  // Process-name metadata so Perfetto labels the swimlanes.
-  for (Track t : {Track::kMainCpu, Track::kRecoveryCpu, Track::kLogDisk,
-                  Track::kCheckpointDisk, Track::kSystem}) {
+  // Process-name metadata so Perfetto labels the swimlanes: the fixed
+  // tracks plus any dynamic recovery-lane tracks the events used.
+  std::set<Track> tracks = {Track::kMainCpu, Track::kRecoveryCpu,
+                            Track::kLogDisk, Track::kCheckpointDisk,
+                            Track::kSystem};
+  for (const Event& e : events_) tracks.insert(e.track);
+  for (Track t : tracks) {
     comma();
     out.append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
     out.append(std::to_string(static_cast<uint32_t>(t)));

@@ -19,7 +19,15 @@ enum class Track : uint32_t {
   kLogDisk = 3,
   kCheckpointDisk = 4,
   kSystem = 5,  // crash/restart lifecycle, recovery phases
+  /// Recovery-lane swimlanes start here: lane i is kRecoveryLaneBase + i.
+  kRecoveryLaneBase = 16,
 };
+
+/// Per-recovery-lane track (rendered "recovery-lane-<i>" in Perfetto).
+inline Track LaneTrack(uint32_t lane) {
+  return static_cast<Track>(
+      static_cast<uint32_t>(Track::kRecoveryLaneBase) + lane);
+}
 
 /// Virtual-clock tracer emitting Chrome `trace_event` JSON.
 ///

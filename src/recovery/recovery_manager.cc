@@ -72,9 +72,12 @@ Status RecoveryManager::SortOne(const LogRecord& rec, uint64_t now_ns) {
     return Status::Corruption("log record bin index does not match partition");
   }
 
-  std::vector<uint8_t> bytes;
-  rec.AppendTo(&bytes);
-  MMDB_RETURN_IF_ERROR(slt_->AppendToActivePage(rec.bin_index, bytes));
+  // Serialize into the reusable scratch buffer: the sort process runs
+  // once per logged record, so a fresh vector here is a heap
+  // allocation per record.
+  sort_scratch_.clear();
+  rec.AppendTo(&sort_scratch_);
+  MMDB_RETURN_IF_ERROR(slt_->AppendToActivePage(rec.bin_index, sort_scratch_));
 
   // Flush every full page of the bin's record stream (large records may
   // span pages, so one append can complete several pages).
@@ -166,17 +169,24 @@ Status RecoveryManager::OnCheckpointFinished(uint32_t bin_index,
     cpu_->Execute(config_.costs.i_copy_fixed +
                   config_.costs.i_copy_add *
                       static_cast<double>(bin->active_page.size()));
+    // Flush full pages from an advancing offset and compact the buffer
+    // once: erasing the front per page would shift the whole tail each
+    // time, O(buffer²) across a burst of checkpoints.
     uint32_t capacity = log_writer_->PagePayloadCapacity(0);
-    while (combine_buf_.size() >= capacity) {
+    size_t off = 0;
+    while (combine_buf_.size() - off >= capacity) {
       uint64_t done_ns = 0;
       cpu_->Execute(config_.costs.i_write_init + config_.costs.i_page_alloc);
       auto lsn = log_writer_->WriteArchivePage(
-          std::span<const uint8_t>(combine_buf_.data(), capacity), now_ns,
-          &done_ns);
+          std::span<const uint8_t>(combine_buf_.data() + off, capacity),
+          now_ns, &done_ns);
       if (!lsn.ok()) return lsn.status();
       ++archive_pages_;
+      off += capacity;
+    }
+    if (off != 0) {
       combine_buf_.erase(combine_buf_.begin(),
-                         combine_buf_.begin() + static_cast<long>(capacity));
+                         combine_buf_.begin() + static_cast<long>(off));
     }
   }
 

@@ -117,6 +117,10 @@ class RecoveryManager {
   std::vector<uint8_t> combine_buf_;
   uint32_t combine_records_ = 0;
 
+  /// Reusable serialization buffer for SortOne (one record at a time;
+  /// avoids a heap allocation per sorted record).
+  std::vector<uint8_t> sort_scratch_;
+
   uint64_t records_sorted_ = 0;
   uint64_t pages_flushed_ = 0;
   uint64_t ckpt_update_count_ = 0;

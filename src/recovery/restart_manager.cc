@@ -74,10 +74,14 @@ Status RestartManager::Restart(RestartReport* report) {
   db.v_->pm.BumpCounters(catalog_segment + 1,
                          PartitionId{catalog_segment, 0});
 
-  // Phase 1: restore the catalogs right away (paper §2.5).
+  // Phase 1: restore the catalogs right away (paper §2.5), with all
+  // recovery lanes working on the catalog partitions concurrently.
+  std::vector<Database::RecoveryWorkItem> catalog_work;
   for (const RootEntry& e : entries) {
-    MMDB_RETURN_IF_ERROR(
-        db.RecoverPartitionInternal(e.pid, e.ckpt_page, report));
+    catalog_work.push_back(Database::RecoveryWorkItem{e.pid, e.ckpt_page});
+  }
+  MMDB_RETURN_IF_ERROR(db.RecoverPartitionsParallel(catalog_work, report));
+  for (const RootEntry& e : entries) {
     PartitionDescriptor d;
     d.id = e.pid;
     d.checkpoint_page = e.ckpt_page;
@@ -136,7 +140,7 @@ Status RestartManager::Restart(RestartReport* report) {
   if (db.opts_.restart_policy == RestartPolicy::kFullReload) {
     bool done = false;
     while (!done) {
-      MMDB_RETURN_IF_ERROR(db.BackgroundRecoveryStep(&done));
+      MMDB_RETURN_IF_ERROR(db.BackgroundRecoveryStep(&done, report));
     }
   }
   report->total_ms = static_cast<double>(db.clock_.now_ns() - t_start) * 1e-6;

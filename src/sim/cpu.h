@@ -39,6 +39,14 @@ class CpuModel {
   /// stable-memory access penalty).
   void Stall(double ns) { busy_until_ns_ += ns; }
 
+  /// Account instructions that already ran on an auxiliary timeline
+  /// (parallel recovery lanes occupy their own DeviceTimelines): the work
+  /// is added to the instruction total without advancing this CPU's
+  /// private busy-until — the caller synchronizes with IdleUntil().
+  void AccountInstructions(double instructions) {
+    total_instructions_ += instructions;
+  }
+
   /// This CPU's private timeline, in virtual ns of accumulated work.
   uint64_t busy_until_ns() const {
     return static_cast<uint64_t>(busy_until_ns_);

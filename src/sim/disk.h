@@ -93,6 +93,13 @@ class Disk {
                    SeekClass seek, std::vector<std::vector<uint8_t>>* data,
                    uint64_t* done_ns);
 
+  /// Read `pages` consecutive pages at the track rate, appending the
+  /// bytes directly to `*out` (no per-page vectors: checkpoint images are
+  /// consumed as one contiguous buffer).
+  Status ReadTrackInto(uint64_t first_page_no, uint32_t pages, uint64_t now_ns,
+                       SeekClass seek, std::vector<uint8_t>* out,
+                       uint64_t* done_ns);
+
   bool Contains(uint64_t page_no) const {
     return store_.find(page_no) != store_.end();
   }
@@ -187,6 +194,20 @@ class DuplexedDisk {
       return primary_.ReadPage(page_no, now_ns, seek, data, done_ns);
     }
     return mirror_.ReadPage(page_no, now_ns, seek, data, done_ns);
+  }
+
+  /// Read served by whichever member's queue frees up sooner (both hold
+  /// every page, so concurrent recovery lanes can fan reads across the
+  /// pair). Ties go to the primary, so the choice is deterministic.
+  Status ReadPageAny(uint64_t page_no, uint64_t now_ns, SeekClass seek,
+                     std::vector<uint8_t>* data, uint64_t* done_ns) {
+    Disk* d = &primary_;
+    if (primary_.media_failed() ||
+        (!mirror_.media_failed() &&
+         mirror_.busy_until_ns() < primary_.busy_until_ns())) {
+      d = &mirror_;
+    }
+    return d->ReadPage(page_no, now_ns, seek, data, done_ns);
   }
 
   Disk& primary() { return primary_; }

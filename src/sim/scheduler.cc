@@ -1,0 +1,32 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mmdb::sim {
+
+void EventScheduler::At(uint64_t when_ns, Fn fn) {
+  if (when_ns < now_ns_) when_ns = now_ns_;
+  heap_.push(Event{when_ns, next_seq_++, std::move(fn)});
+}
+
+void EventScheduler::Fail(Status st) {
+  if (status_.ok() && !st.ok()) status_ = std::move(st);
+}
+
+Status EventScheduler::Run() {
+  while (!heap_.empty() && status_.ok()) {
+    // priority_queue::top() is const; the event is copied out so its
+    // callback may submit new events (invalidating top) while running.
+    Event e = heap_.top();
+    heap_.pop();
+    MMDB_DCHECK(e.when_ns >= now_ns_);
+    now_ns_ = e.when_ns;
+    ++events_run_;
+    e.fn(now_ns_);
+  }
+  return status_;
+}
+
+}  // namespace mmdb::sim

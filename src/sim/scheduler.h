@@ -1,0 +1,107 @@
+#ifndef MMDB_SIM_SCHEDULER_H_
+#define MMDB_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmdb::sim {
+
+/// Deterministic discrete-event scheduler over the simulated devices.
+///
+/// Events are (ready time, submission sequence) pairs drained in strictly
+/// ascending order; an event's callback performs its device operation
+/// (Disk reads/writes, CPU-lane occupancy) and may submit follow-up
+/// events at or after its own ready time. Because every device serializes
+/// requests on its own busy-until timeline (max(ready, busy_until) start
+/// rule), invoking the operations in global ready order yields per-device
+/// FCFS service identical to a queue per device — with completion times
+/// that interleave across devices, which is what lets checkpoint-image
+/// transfer, log-page reads, and record apply overlap on the virtual
+/// timeline.
+///
+/// Determinism: ties on ready time break by submission order, submission
+/// order is program order, and no wall-clock or randomness is involved —
+/// the same initial events always produce the same trajectory.
+class EventScheduler {
+ public:
+  using Fn = std::function<void(uint64_t now_ns)>;
+
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Schedules `fn` to run at virtual time `when_ns` (clamped forward to
+  /// the currently running event's time: the simulation cannot submit
+  /// work into its own past).
+  void At(uint64_t when_ns, Fn fn);
+
+  /// Drains the event heap. Stops early if any callback called Fail().
+  /// Returns the first failure, or OK when the heap ran dry.
+  Status Run();
+
+  /// Records a failure; Run() stops before the next event.
+  void Fail(Status st);
+
+  bool failed() const { return !status_.ok(); }
+
+  /// Ready time of the event currently being run (0 before Run()).
+  uint64_t now_ns() const { return now_ns_; }
+
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    uint64_t when_ns;
+    uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  uint64_t now_ns_ = 0;
+  uint64_t events_run_ = 0;
+  Status status_ = Status::OK();
+};
+
+/// A bare service timeline for devices that have no backing object of
+/// their own — the recovery CPU lanes. Occupancy follows the same rule
+/// as Disk: a request ready at `ready_ns` starts at max(ready,
+/// busy_until) and holds the device for `service_ns`.
+class DeviceTimeline {
+ public:
+  explicit DeviceTimeline(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Occupies the device; returns the completion time.
+  uint64_t Occupy(uint64_t ready_ns, uint64_t service_ns) {
+    uint64_t start = ready_ns > busy_until_ns_ ? ready_ns : busy_until_ns_;
+    busy_until_ns_ = start + service_ns;
+    busy_total_ns_ += service_ns;
+    return busy_until_ns_;
+  }
+
+  uint64_t busy_until_ns() const { return busy_until_ns_; }
+  /// Accumulated service time (the lane's busy — not idle — virtual ns).
+  uint64_t busy_total_ns() const { return busy_total_ns_; }
+
+ private:
+  std::string name_;
+  uint64_t busy_until_ns_ = 0;
+  uint64_t busy_total_ns_ = 0;
+};
+
+}  // namespace mmdb::sim
+
+#endif  // MMDB_SIM_SCHEDULER_H_

@@ -122,12 +122,17 @@ TEST_F(TraceTest, FullLifecycleTraceIsValidChromeJson) {
   std::vector<ParsedEvent> evs = ParseEvents(doc);
   ASSERT_GT(evs.size(), 5u);
 
-  // Process-name metadata for every track.
+  // Process-name metadata for every track: the five fixed tracks plus
+  // one swimlane per recovery lane that emitted events (lane 0 here,
+  // since recovery_parallelism defaults to 1).
   int meta = 0;
   for (const ParsedEvent& e : evs) {
     if (e.phase == "M" && e.name == "process_name") ++meta;
   }
-  EXPECT_EQ(meta, 5);
+  EXPECT_EQ(meta, 6);
+  uint32_t lane0 = static_cast<uint32_t>(obs::LaneTrack(0));
+  EXPECT_TRUE(HasSpan(evs, "recovery", "image ", lane0) ||
+              HasSpan(evs, "recovery", "apply ", lane0));
 
   uint32_t main_cpu = static_cast<uint32_t>(obs::Track::kMainCpu);
   uint32_t log_disk = static_cast<uint32_t>(obs::Track::kLogDisk);
