@@ -5,6 +5,7 @@
 
 #include "recovery/checkpointer.h"
 #include "recovery/restart_manager.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace mmdb {
@@ -27,6 +28,7 @@ Database::Database(DatabaseOptions opts)
   opts_.costs.s_partition = static_cast<double>(opts_.partition_size_bytes);
   opts_.costs.n_update = static_cast<double>(opts_.n_update);
 
+  fault_ = std::make_unique<fault::FaultInjector>();
   meter_ = std::make_unique<sim::StableMemoryMeter>(opts_.stable_memory_bytes);
   slb_ = std::make_unique<StableLogBuffer>(
       StableLogBuffer::Config{opts_.slb_block_bytes, opts_.slb_capacity_bytes},
@@ -48,6 +50,19 @@ Database::Database(DatabaseOptions opts)
   archive_ = std::make_unique<ArchiveManager>();
   audit_ = std::make_unique<AuditLog>(
       AuditLog::Config{opts_.audit_buffer_bytes}, meter_.get());
+  resilver_ = std::make_unique<Resilverer>(Resilverer::Config{},
+                                           log_disks_.get(), archive_.get());
+
+  // Thread the (disarmed) fault injector through every component with an
+  // injection site; each hook is a single branch until a plan is armed.
+  meter_->SetFaultInjector(fault_.get());
+  slb_->SetFaultInjector(fault_.get());
+  slt_->SetFaultInjector(fault_.get());
+  log_disks_->SetFaultInjector(fault_.get());
+  checkpoint_disk_->SetFaultInjector(fault_.get());
+  log_writer_->SetFaultInjector(fault_.get());
+  recovery_->SetFaultInjector(fault_.get());
+  resilver_->SetFaultInjector(fault_.get());
 
   v_ = std::make_unique<Volatile>(opts_);
   v_->catalog_segment = v_->pm.AllocateSegment();
@@ -68,8 +83,12 @@ void Database::AttachStableObservers() {
   log_writer_->AttachMetrics(&metrics_);
   log_writer_->AttachTracer(&tracer_);
   recovery_->AttachMetrics(&metrics_);
+  fault_->AttachMetrics(&metrics_);
+  resilver_->AttachMetrics(&metrics_);
+  resilver_->AttachTracer(&tracer_);
 
   m_log_forces_ = metrics_.counter("log.forces");
+  m_disk_retries_ = metrics_.counter("disk.retries_total");
   m_ckpt_completed_ = metrics_.counter("checkpoint.completed");
   m_ondemand_count_ = metrics_.counter("recovery.on_demand");
   m_background_count_ = metrics_.counter("recovery.background");
@@ -522,6 +541,10 @@ Status Database::WriteCatalogRootBlock() {
     wire::PutU64(&b, d.checkpoint_page);
     wire::PutU64(&b, d.checkpoint_slot);
   }
+  // Trailing CRC over the whole payload: restart verifies it and falls
+  // back to the other stable copy on mismatch (e.g. a stable-memory bit
+  // flip), not only when a copy is missing.
+  wire::PutU32(&b, Crc32(b.data(), b.size()));
   meter_->ChargeWrite(2 * b.size());
   slb_->SetCatalogRoot(b);
   slt_->SetCatalogRoot(std::move(b));
@@ -548,8 +571,19 @@ Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
     std::vector<uint8_t> image;
     image.reserve(opts_.partition_size_bytes);
     uint64_t done = 0;
-    MMDB_RETURN_IF_ERROR(checkpoint_disk_->ReadTrackInto(
-        ckpt_page, pages_per_slot, t, sim::SeekClass::kRandom, &image, &done));
+    Status rd;
+    for (uint32_t attempt = 0;; ++attempt) {
+      rd = checkpoint_disk_->ReadTrackInto(ckpt_page, pages_per_slot, t,
+                                           sim::SeekClass::kRandom, &image,
+                                           &done);
+      if (rd.ok() || !rd.IsIOError() ||
+          attempt + 1 >= sim::kReadRetryAttempts) {
+        break;
+      }
+      t += (attempt + 1) * sim::kReadRetryBackoffNs;
+      m_disk_retries_->Add(1);
+    }
+    MMDB_RETURN_IF_ERROR(rd);
     t = done;
     auto from = Partition::FromImage(std::move(image));
     if (!from.ok()) return from.status();
@@ -587,6 +621,16 @@ Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
   }
   std::vector<LogRecord> records;
   MMDB_RETURN_IF_ERROR(ParseLogStream(stream, &records));
+  if (fault_->armed()) {
+    // restart.apply site: a crash here models a crash-within-restart —
+    // the half-applied partition is volatile and simply rebuilt again.
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kRestartApply;
+    ev.device = "recovery";
+    ev.page_no = pid.Pack();
+    ev.now_ns = t;
+    MMDB_RETURN_IF_ERROR(fault_->OnSite(&ev));
+  }
   for (const LogRecord& rec : records) {
     MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, part.get()));
     main_cpu_.Execute(opts_.apply_instructions_per_record);
@@ -871,6 +915,8 @@ Status Database::DropRelation(const std::string& relation_name) {
 Result<Transaction*> Database::Begin(TxnKind kind,
                                      const std::string& user_data) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  // A latched injected crash takes effect before any new transaction.
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_.get()));
   MainWork(50);
   Transaction* txn = v_->txns.Begin(kind);
   txn->set_begin_ns(clock_.now_ns());
@@ -1241,6 +1287,8 @@ void Database::Crash() {
   slb_->OnCrash();
   v_->undo.Clear();
   recovery_->RebuildFirstLsnList();
+  resilver_->OnCrash();
+  fault_->OnCrashDelivered();
   crashed_ = true;
   ++ddl_epoch_;  // the background-sweep cursor indexed the lost catalog
   // Volatile metrics reset with the state they measured; the new lock
@@ -1394,6 +1442,33 @@ bool Database::IsRelationResident(const std::string& relation) {
     }
   }
   return true;
+}
+
+Status Database::StartLogDiskResilver(int member) {
+  if (member != 0 && member != 1) {
+    return Status::InvalidArgument("re-silver member must be 0 or 1");
+  }
+  sim::Disk& target = log_disks_->member(member);
+  if (target.media_failed()) target.RepairMedia();
+  MMDB_RETURN_IF_ERROR(resilver_->Start(member, clock_.now_ns()));
+  tracer_.Instant(obs::Track::kSystem, "resilver",
+                  "re-silver start " + target.name(), clock_.now_ns());
+  return Status::OK();
+}
+
+Status Database::ResilverStep(bool* done) {
+  uint64_t done_ns = 0;
+  MMDB_RETURN_IF_ERROR(resilver_->Step(clock_.now_ns(), &done_ns, done));
+  if (done_ns > clock_.now_ns()) clock_.AdvanceTo(done_ns);
+  return Status::OK();
+}
+
+Status Database::ResilverToCompletion() {
+  bool done = false;
+  while (!done) {
+    MMDB_RETURN_IF_ERROR(ResilverStep(&done));
+  }
+  return Status::OK();
 }
 
 Status Database::FailAndRecoverCheckpointDisk() {

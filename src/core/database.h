@@ -10,6 +10,7 @@
 #include "analysis/model.h"
 #include "catalog/catalog.h"
 #include "catalog/schema.h"
+#include "fault/fault.h"
 #include "index/linear_hash.h"
 #include "index/ttree.h"
 #include "log/audit_log.h"
@@ -20,6 +21,7 @@
 #include "obs/tracer.h"
 #include "recovery/archive.h"
 #include "recovery/recovery_manager.h"
+#include "recovery/resilver.h"
 #include "sim/clock.h"
 #include "sim/cpu.h"
 #include "sim/disk.h"
@@ -268,8 +270,33 @@ class Database {
   /// archive (paper §2.6). The memory copy is unaffected.
   Status FailAndRecoverCheckpointDisk();
 
+  /// Begins re-silvering log-disk member `member` (0 = primary, 1 =
+  /// mirror) from its healthy mirror. Repairs the member's media first if
+  /// needed; the copy then proceeds in background quanta via
+  /// ResilverStep.
+  Status StartLogDiskResilver(int member);
+  /// Copies one quantum of the active re-silver; sets *done when the
+  /// member is fully rebuilt.
+  Status ResilverStep(bool* done);
+  /// Runs the active re-silver to completion.
+  Status ResilverToCompletion();
+  Resilverer& resilverer() { return *resilver_; }
+
+  // --- fault injection --------------------------------------------------------
+  /// Arms a deterministic fault plan across the injection sites
+  /// (disk.write, disk.read, stable_mem.access, slb.flush,
+  /// checkpoint.track_write, restart.apply). Hooks are single-branch
+  /// no-ops when disarmed and never perturb virtual time, so an unarmed
+  /// database behaves byte- and timing-identically to one built before
+  /// the fault layer existed.
+  void ArmFaultPlan(const fault::FaultPlan& plan) { fault_->Arm(plan); }
+  void DisarmFaults() { fault_->Disarm(); }
+  fault::FaultInjector& fault_injector() { return *fault_; }
+
   // --- introspection ----------------------------------------------------------
   uint64_t now_ns() const { return clock_.now_ns(); }
+  /// True between Crash() and a successful Restart().
+  bool crashed() const { return crashed_; }
   double now_ms() const { return clock_.now_seconds() * 1e3; }
   const sim::CpuModel& main_cpu() const { return main_cpu_; }
   const sim::CpuModel& recovery_cpu() const { return recovery_cpu_; }
@@ -411,7 +438,9 @@ class Database {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
 
-  // Stable store: survives Crash().
+  // Stable store: survives Crash(). The fault injector is declared first:
+  // every stable component holds a raw pointer to it.
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::unique_ptr<sim::StableMemoryMeter> meter_;
   std::unique_ptr<StableLogBuffer> slb_;
   std::unique_ptr<StableLogTail> slt_;
@@ -421,6 +450,7 @@ class Database {
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<ArchiveManager> archive_;
   std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<Resilverer> resilver_;
 
   // Volatile state: destroyed by Crash(), rebuilt by Restart().
   std::unique_ptr<Volatile> v_;
@@ -462,6 +492,8 @@ class Database {
 
   // Cached registry handles (resolved once in AttachStableObservers).
   obs::Counter* m_log_forces_ = nullptr;
+  /// Shared with every retrying read path (log writer, restart).
+  obs::Counter* m_disk_retries_ = nullptr;
   obs::Counter* m_ckpt_completed_ = nullptr;
   obs::Counter* m_ondemand_count_ = nullptr;
   obs::Counter* m_background_count_ = nullptr;

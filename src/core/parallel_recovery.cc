@@ -94,10 +94,19 @@ Status Database::RecoverPartitionsParallel(
       std::vector<uint8_t> image;
       image.reserve(opts_.partition_size_bytes);
       uint64_t done = 0;
-      Status st = checkpoint_disk_->ReadTrackInto(item.ckpt_page,
-                                                  pages_per_slot, now,
-                                                  sim::SeekClass::kRandom,
-                                                  &image, &done);
+      uint64_t t = now;
+      Status st;
+      for (uint32_t attempt = 0;; ++attempt) {
+        st = checkpoint_disk_->ReadTrackInto(item.ckpt_page, pages_per_slot,
+                                             t, sim::SeekClass::kRandom,
+                                             &image, &done);
+        if (st.ok() || !st.IsIOError() ||
+            attempt + 1 >= sim::kReadRetryAttempts) {
+          break;
+        }
+        t += (attempt + 1) * sim::kReadRetryBackoffNs;
+        m_disk_retries_->Add(1);
+      }
       if (!st.ok()) {
         sched.Fail(st);
         return;
@@ -223,6 +232,21 @@ Status Database::RecoverPartitionsParallel(
     if (!st.ok()) {
       sched.Fail(st);
       return;
+    }
+
+    if (fault_->armed()) {
+      // restart.apply site: a crash here is a crash-within-restart — the
+      // half-built partition is volatile and simply rebuilt next time.
+      fault::SiteEvent ev;
+      ev.site = fault::Site::kRestartApply;
+      ev.device = "recovery";
+      ev.page_no = task->pid.Pack();
+      ev.now_ns = now;
+      Status hs = fault_->OnSite(&ev);
+      if (!hs.ok()) {
+        sched.Fail(hs);
+        return;
+      }
     }
 
     // Apply chain: a record is applicable once the chunk holding its last

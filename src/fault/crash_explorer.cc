@@ -1,0 +1,369 @@
+#include "fault/crash_explorer.h"
+
+#include <algorithm>
+
+namespace mmdb::fault {
+
+namespace {
+
+Schema RowSchema() {
+  return Schema({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+}
+
+std::string PointLabel(Site site, uint64_t visit, uint64_t seed) {
+  return std::string("site=") + SiteName(site) +
+         " visit=" + std::to_string(visit) + " seed=" + std::to_string(seed);
+}
+
+}  // namespace
+
+DatabaseOptions CrashExplorer::TrialOptions(bool trace) {
+  DatabaseOptions o;
+  // Small partitions and log pages so the short scripted workload still
+  // produces on-disk log chains, multiple checkpoint tracks, and a real
+  // restart read phase.
+  o.partition_size_bytes = 16 * 1024;
+  o.log_page_bytes = 2 * 1024;
+  o.n_update = 1ull << 30;  // checkpoints fire only where scripted
+  o.recovery_parallelism = 2;
+  o.restart_policy = RestartPolicy::kFullReload;
+  o.enable_tracing = trace;
+  return o;
+}
+
+Status CrashExplorer::RunScript(Database* db, Ledger* led) {
+  Status st = db->CreateRelation("r", RowSchema());
+  if (!st.ok()) {
+    if (st.IsFault()) led->relation = Ledger::Ddl::kInDoubt;
+    return st;
+  }
+  led->relation = Ledger::Ddl::kCommitted;
+  st = db->CreateIndex("r_id", "r", "id", IndexType::kTTree);
+  if (!st.ok()) {
+    if (st.IsFault()) led->index = Ledger::Ddl::kInDoubt;
+    return st;
+  }
+  led->index = Ledger::Ddl::kCommitted;
+
+  // Phase B: a deterministic transaction mix — inserts, plus one txn of
+  // updates+delete and one delete-heavy txn — with forced checkpoints in
+  // the middle of the stream.
+  const int kTxns = 14;
+  const int kOpsPerTxn = 4;
+  int64_t next_key = 0;
+  for (int ti = 0; ti < kTxns; ++ti) {
+    auto txn_r = db->Begin();
+    if (!txn_r.ok()) return txn_r.status();
+    Transaction* txn = txn_r.value();
+    std::map<int64_t, int64_t> ups;
+    std::vector<int64_t> dels;
+    std::map<int64_t, EntityAddr> new_addrs;
+    Status op = Status::OK();
+    auto do_insert = [&](int64_t key) {
+      auto a = db->Insert(txn, "r", Tuple{key, key * 10 + ti});
+      if (!a.ok()) {
+        op = a.status();
+        return;
+      }
+      ups[key] = key * 10 + ti;
+      new_addrs[key] = a.value();
+    };
+    if (ti == 5) {
+      // Keys 0-3 were inserted (and committed) by the first transaction.
+      for (int64_t k : {int64_t{0}, int64_t{1}}) {
+        op = db->Update(txn, "r", led->addrs.at(k), Tuple{k, k * 10 + 1000});
+        if (!op.ok()) break;
+        ups[k] = k * 10 + 1000;
+      }
+      if (op.ok()) {
+        op = db->Delete(txn, "r", led->addrs.at(2));
+        if (op.ok()) dels.push_back(2);
+      }
+      if (op.ok()) do_insert(next_key++);
+    } else if (ti == 8) {
+      op = db->Delete(txn, "r", led->addrs.at(3));
+      if (op.ok()) dels.push_back(3);
+      for (int j = 0; j < kOpsPerTxn - 1 && op.ok(); ++j) {
+        do_insert(next_key++);
+      }
+    } else {
+      for (int j = 0; j < kOpsPerTxn && op.ok(); ++j) do_insert(next_key++);
+    }
+    if (!op.ok()) return op;  // mid-txn fault: this txn never committed
+    st = db->Commit(txn);
+    if (!st.ok()) {
+      if (st.IsFault()) {
+        // Commit returned the injected fault: the SLB commit may or may
+        // not have preceded the crash — the one in-doubt transaction.
+        led->has_indoubt = true;
+        led->indoubt_upserts = ups;
+        led->indoubt_deletes = dels;
+      }
+      return st;
+    }
+    for (const auto& [k, v] : ups) led->committed[k] = v;
+    for (int64_t k : dels) {
+      led->committed.erase(k);
+      led->addrs.erase(k);
+    }
+    for (const auto& [k, a] : new_addrs) led->addrs[k] = a;
+    if (ti == 6 || ti == 10) {
+      MMDB_RETURN_IF_ERROR(db->ForceCheckpointRelation("r"));
+    }
+  }
+  MMDB_RETURN_IF_ERROR(db->CheckpointEverything());
+  led->workload_complete = true;
+
+  // Phase C: scripted clean crash + full restart, so the sweep covers
+  // crash-within-restart points even when no earlier fault fires.
+  db->Crash();
+  MMDB_RETURN_IF_ERROR(db->Restart());
+  bool done = false;
+  while (!done) {
+    MMDB_RETURN_IF_ERROR(db->BackgroundRecoveryStep(&done));
+  }
+  return Status::OK();
+}
+
+Status CrashExplorer::RecoverFully(Database* db, uint64_t* crashes) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (db->fault_injector().crash_pending()) {
+      db->Crash();
+      ++*crashes;
+    }
+    Status st = Status::OK();
+    if (db->crashed()) st = db->Restart();
+    if (st.ok()) {
+      bool done = false;
+      while (done == false) {
+        st = db->BackgroundRecoveryStep(&done);
+        if (!st.ok()) break;
+      }
+      if (st.ok()) return Status::OK();
+    }
+    if (!st.IsFault() && !db->fault_injector().crash_pending()) return st;
+    // Crash-within-restart: deliver it and restart again.
+  }
+  return Status::Corruption("recovery did not converge after repeated crashes");
+}
+
+Status CrashExplorer::CollectImages(
+    Database* db, std::map<uint64_t, std::vector<uint8_t>>* out) {
+  out->clear();
+  auto rel = db->catalog().GetRelation("r");
+  if (!rel.ok()) return rel.status();
+  auto add = [&](const PartitionDescriptor& d) -> Status {
+    auto p = db->partitions().Get(d.id);
+    if (!p.ok()) return p.status();
+    (*out)[d.id.Pack()] = p.value()->image();
+    return Status::OK();
+  };
+  for (const PartitionDescriptor& d : rel.value()->partitions) {
+    MMDB_RETURN_IF_ERROR(add(d));
+  }
+  for (const std::string& iname : rel.value()->index_names) {
+    auto idx = db->catalog().GetIndex(iname);
+    if (!idx.ok()) return idx.status();
+    for (const PartitionDescriptor& d : idx.value()->partitions) {
+      MMDB_RETURN_IF_ERROR(add(d));
+    }
+  }
+  return Status::OK();
+}
+
+Status CrashExplorer::CheckInvariants(Database* db, const Ledger& led,
+                                      std::string* failure) const {
+  auto fail = [&](const std::string& msg) {
+    *failure = msg;
+    return Status::OK();
+  };
+
+  bool rel_exists = db->catalog().GetRelation("r").ok();
+  if (!rel_exists && led.relation == Ledger::Ddl::kCommitted) {
+    return fail("committed relation lost across recovery");
+  }
+  if (!rel_exists && (!led.committed.empty() || led.has_indoubt)) {
+    return fail("relation missing but committed transactions exist");
+  }
+
+  std::map<int64_t, int64_t> got;
+  if (rel_exists) {
+    auto txn_r = db->Begin();
+    if (!txn_r.ok()) {
+      return fail("Begin failed after recovery: " + txn_r.status().ToString());
+    }
+    auto rows = db->Scan(txn_r.value(), "r");
+    if (!rows.ok()) {
+      return fail("scan failed after recovery: " + rows.status().ToString());
+    }
+    for (const auto& [addr, tup] : rows.value()) {
+      (void)addr;
+      got[std::get<int64_t>(tup[0])] = std::get<int64_t>(tup[1]);
+    }
+
+    // Durability + atomicity: the recovered rows equal the committed set,
+    // or the committed set plus the full effect of the single in-doubt
+    // transaction — nothing else (no partial transactions, no phantoms).
+    bool match_committed = got == led.committed;
+    std::map<int64_t, int64_t> with_indoubt = led.committed;
+    for (const auto& [k, v] : led.indoubt_upserts) with_indoubt[k] = v;
+    for (int64_t k : led.indoubt_deletes) with_indoubt.erase(k);
+    bool match_indoubt = led.has_indoubt && got == with_indoubt;
+    if (!match_committed && !match_indoubt) {
+      return fail("recovered rows (" + std::to_string(got.size()) +
+                  ") match neither the committed set (" +
+                  std::to_string(led.committed.size()) +
+                  ") nor committed+in-doubt");
+    }
+
+    // Index / relation consistency.
+    bool idx_exists = db->catalog().GetIndex("r_id").ok();
+    if (!idx_exists && led.index == Ledger::Ddl::kCommitted) {
+      return fail("committed index lost across recovery");
+    }
+    if (idx_exists) {
+      for (const auto& [k, v] : got) {
+        auto lk = db->IndexLookup(txn_r.value(), "r_id", k);
+        if (!lk.ok()) {
+          return fail("index lookup failed for key " + std::to_string(k) +
+                      ": " + lk.status().ToString());
+        }
+        if (lk.value().size() != 1) {
+          return fail("index lookup for key " + std::to_string(k) +
+                      " returned " + std::to_string(lk.value().size()) +
+                      " rows, want 1");
+        }
+        auto tup = db->Read(txn_r.value(), "r", lk.value()[0]);
+        if (!tup.ok() ||
+            std::get<int64_t>(tup.value()[1]) != v) {
+          return fail("index entry for key " + std::to_string(k) +
+                      " points at the wrong row");
+        }
+      }
+    }
+    Status cst = db->Commit(txn_r.value());
+    if (!cst.ok()) {
+      return fail("read-only txn commit failed: " + cst.ToString());
+    }
+  }
+
+  // Determinism vs the no-crash oracle: when every scripted transaction
+  // committed, recovery must reproduce the exact pre-crash partition
+  // bytes (image + replayed log = memory state at the crash).
+  if (have_oracle_ && led.workload_complete && rel_exists) {
+    if (got != oracle_rows_) {
+      return fail("complete workload recovered different rows than the "
+                  "no-crash oracle");
+    }
+    std::map<uint64_t, std::vector<uint8_t>> imgs;
+    Status st = CollectImages(db, &imgs);
+    if (!st.ok()) return fail("collect images: " + st.ToString());
+    if (imgs != oracle_images_) {
+      return fail("recovered partitions are not byte-identical to the "
+                  "no-crash oracle");
+    }
+  }
+
+  // Usability: the recovered database accepts new work.
+  Status ust = [&]() -> Status {
+    MMDB_RETURN_IF_ERROR(db->CreateRelation("usable", RowSchema()));
+    auto t = db->Begin();
+    if (!t.ok()) return t.status();
+    auto a = db->Insert(t.value(), "usable", Tuple{int64_t{1}, int64_t{2}});
+    if (!a.ok()) return a.status();
+    return db->Commit(t.value());
+  }();
+  if (!ust.ok()) {
+    return fail("post-recovery usability txn failed: " + ust.ToString());
+  }
+  failure->clear();
+  return Status::OK();
+}
+
+Status CrashExplorer::RunPointImpl(Site site, uint64_t visit,
+                                   std::string* failure,
+                                   uint64_t* crashes_delivered) {
+  failure->clear();
+  Database db(TrialOptions(opts_.trace));
+  FaultPlan plan;
+  plan.seed = opts_.seed;
+  plan.CrashAtVisit(site, visit);
+  db.ArmFaultPlan(plan);
+  uint64_t t0 = db.now_ns();
+
+  Ledger led;
+  Status st = RunScript(&db, &led);
+  if (!st.ok() && !st.IsFault() && !db.fault_injector().crash_pending()) {
+    *failure = PointLabel(site, visit, opts_.seed) +
+               ": script failed: " + st.ToString();
+    return Status::OK();
+  }
+  Status rst = RecoverFully(&db, crashes_delivered);
+  if (!rst.ok()) {
+    *failure = PointLabel(site, visit, opts_.seed) +
+               ": recovery failed: " + rst.ToString();
+    return Status::OK();
+  }
+  std::string why;
+  MMDB_RETURN_IF_ERROR(CheckInvariants(&db, led, &why));
+  if (!why.empty()) {
+    *failure = PointLabel(site, visit, opts_.seed) + ": " + why;
+  }
+  db.tracer().Span(obs::Track::kSystem, "chaos",
+                   "crash-recover " + PointLabel(site, visit, opts_.seed), t0,
+                   db.now_ns() - t0);
+  return Status::OK();
+}
+
+Status CrashExplorer::RunPoint(Site site, uint64_t visit,
+                               std::string* failure) {
+  uint64_t crashes = 0;
+  return RunPointImpl(site, visit, failure, &crashes);
+}
+
+Status CrashExplorer::Run(ExplorerReport* report) {
+  *report = ExplorerReport{};
+
+  // Probe: an armed-but-empty plan counts per-site visits and yields the
+  // no-crash oracle (rows + partition bytes after the scripted restart).
+  {
+    Database db(TrialOptions(opts_.trace));
+    FaultPlan probe;
+    probe.seed = opts_.seed;
+    db.ArmFaultPlan(probe);
+    Ledger led;
+    MMDB_RETURN_IF_ERROR(RunScript(&db, &led));
+    if (!led.workload_complete) {
+      return Status::Corruption("probe run did not complete the workload");
+    }
+    for (size_t s = 0; s < kSiteCount; ++s) {
+      report->probe_visits[s] = db.fault_injector().visits(static_cast<Site>(s));
+    }
+    oracle_rows_ = led.committed;
+    MMDB_RETURN_IF_ERROR(CollectImages(&db, &oracle_images_));
+    have_oracle_ = true;
+  }
+
+  // Sweep: stride-subsampled visits per site (rare sites exhaustively).
+  for (Site site : opts_.sites) {
+    uint64_t n = report->probe_visits[static_cast<size_t>(site)];
+    if (n == 0) continue;
+    uint64_t stride =
+        n > opts_.max_points_per_site
+            ? (n + opts_.max_points_per_site - 1) / opts_.max_points_per_site
+            : 1;
+    for (uint64_t k = 1; k <= n; k += stride) {
+      ++report->points_explored;
+      std::string failure;
+      MMDB_RETURN_IF_ERROR(
+          RunPointImpl(site, k, &failure, &report->crashes_delivered));
+      if (!failure.empty()) {
+        ++report->violations;
+        report->failures.push_back(failure);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb::fault

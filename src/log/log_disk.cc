@@ -21,6 +21,7 @@ Status ParseLogStream(std::span<const uint8_t> stream,
 void LogDiskWriter::AttachMetrics(obs::MetricsRegistry* reg) {
   m_pages_flushed_ = reg->counter("log.pages_flushed");
   m_archive_pages_ = reg->counter("log.archive_pages");
+  m_retries_ = reg->counter("disk.retries_total");
   m_flush_ns_ = reg->histogram("log.flush_ns");
   m_next_lsn_ = reg->gauge("log.next_lsn");
   m_next_lsn_->Set(static_cast<double>(next_lsn_));
@@ -73,15 +74,22 @@ Result<uint64_t> LogDiskWriter::FlushBinPage(PartitionBin* bin,
   if (bin->active_page.empty()) {
     return Status::InvalidArgument("flush of empty active page");
   }
+  if (fault_ != nullptr && fault_->armed()) {
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kSlbFlush;
+    ev.device = "log";
+    ev.page_no = next_lsn_;
+    ev.now_ns = now_ns;
+    MMDB_RETURN_IF_ERROR(fault_->OnSite(&ev));
+  }
   uint64_t lsn = next_lsn_++;
   std::vector<uint64_t> embedded;
   uint64_t prev_anchor = bin->last_anchor_lsn;
-  if (bin->directory.size() >= dir_capacity) {
+  bool is_anchor = bin->directory.size() >= dir_capacity;
+  if (is_anchor) {
     // This page becomes an anchor: it carries the directory of the pages
     // written since the previous anchor (paper Fig. 4(b)).
     embedded = bin->directory;
-    bin->directory.clear();
-    bin->last_anchor_lsn = lsn;
   }
   size_t cap = PagePayloadCapacity(embedded.size());
   size_t take = std::min<size_t>(cap, bin->active_page.size());
@@ -89,6 +97,14 @@ Result<uint64_t> LogDiskWriter::FlushBinPage(PartitionBin* bin,
       lsn, bin->partition, bin->last_page_lsn, prev_anchor, embedded,
       std::span<const uint8_t>(bin->active_page.data(), take));
   *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  // The bin's stable bookkeeping only advances once the page write went
+  // through: a crash during the write leaves an orphaned, unreferenced
+  // page and a bin that still owns every record byte.
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
+  if (is_anchor) {
+    bin->directory.clear();
+    bin->last_anchor_lsn = lsn;
+  }
   if (m_pages_flushed_ != nullptr) m_pages_flushed_->Add(1);
   NoteFlush("log-flush", bin->partition, now_ns, *done_ns);
   if (bin->first_page_lsn == kNoLsn) bin->first_page_lsn = lsn;
@@ -104,11 +120,20 @@ Result<uint64_t> LogDiskWriter::FlushBinPage(PartitionBin* bin,
 Result<uint64_t> LogDiskWriter::WriteArchivePage(
     std::span<const uint8_t> stream_bytes, uint64_t now_ns,
     uint64_t* done_ns) {
+  if (fault_ != nullptr && fault_->armed()) {
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kSlbFlush;
+    ev.device = "log";
+    ev.page_no = next_lsn_;
+    ev.now_ns = now_ns;
+    MMDB_RETURN_IF_ERROR(fault_->OnSite(&ev));
+  }
   uint64_t lsn = next_lsn_++;
   std::vector<uint8_t> page =
       BuildPage(lsn, PartitionId::Unpack(kArchiveCombinedTag), kNoLsn, kNoLsn,
                 {}, stream_bytes);
   *done_ns = disks_->WritePage(lsn, page, now_ns, sim::SeekClass::kSequential);
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   if (m_archive_pages_ != nullptr) m_archive_pages_->Add(1);
   NoteFlush("archive-combine", PartitionId::Unpack(kArchiveCombinedTag), now_ns,
             *done_ns);
@@ -118,17 +143,51 @@ Result<uint64_t> LogDiskWriter::WriteArchivePage(
 Status LogDiskWriter::ReadPage(uint64_t lsn, uint64_t now_ns,
                                sim::SeekClass seek, ParsedLogPage* page,
                                uint64_t* done_ns) {
-  std::vector<uint8_t> raw;
-  MMDB_RETURN_IF_ERROR(disks_->ReadPage(lsn, now_ns, seek, &raw, done_ns));
-  return ParseRawPage(lsn, raw, page);
+  return ReadParsed(lsn, now_ns, seek, page, done_ns, /*any_member=*/false);
 }
 
 Status LogDiskWriter::ReadPageAny(uint64_t lsn, uint64_t now_ns,
                                   sim::SeekClass seek, ParsedLogPage* page,
                                   uint64_t* done_ns) {
+  return ReadParsed(lsn, now_ns, seek, page, done_ns, /*any_member=*/true);
+}
+
+Status LogDiskWriter::ReadParsed(uint64_t lsn, uint64_t now_ns,
+                                 sim::SeekClass seek, ParsedLogPage* page,
+                                 uint64_t* done_ns, bool any_member) {
   std::vector<uint8_t> raw;
-  MMDB_RETURN_IF_ERROR(disks_->ReadPageAny(lsn, now_ns, seek, &raw, done_ns));
-  return ParseRawPage(lsn, raw, page);
+  uint64_t t = now_ns;
+  Status st;
+  for (uint32_t attempt = 0;; ++attempt) {
+    raw.clear();
+    st = any_member ? disks_->ReadPageAny(lsn, t, seek, &raw, done_ns)
+                    : disks_->ReadPage(lsn, t, seek, &raw, done_ns);
+    if (st.ok()) {
+      st = ParseRawPage(lsn, raw, page);
+      if (st.ok() || !st.IsCorruption()) return st;
+      break;  // content-level corruption: try each member explicitly
+    }
+    if (!st.IsIOError() || attempt + 1 >= sim::kReadRetryAttempts) return st;
+    t += (attempt + 1) * sim::kReadRetryBackoffNs;
+    if (m_retries_ != nullptr) m_retries_->Add(1);
+  }
+  // The duplex-level read returned a page whose device CRC verified but
+  // whose content (payload CRC / LSN identity) did not. The other member
+  // may still hold a good copy — a torn or poked page on one spindle must
+  // not take down recovery.
+  Status bad = st;
+  for (int m = 0; m < 2; ++m) {
+    sim::Disk& d = disks_->member(m);
+    if (d.media_failed()) continue;
+    raw.clear();
+    Status rs = d.ReadPage(lsn, t, seek, &raw, done_ns);
+    if (!rs.ok()) continue;
+    if (ParseRawPage(lsn, raw, page).ok()) {
+      if (m_retries_ != nullptr) m_retries_->Add(1);
+      return Status::OK();
+    }
+  }
+  return bad;
 }
 
 Status LogDiskWriter::ParseRawPage(uint64_t lsn,

@@ -82,6 +82,12 @@ class LogDiskWriter {
   /// log-disk track.
   void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms the `slb.flush` fault site at the flush entry points plus
+  /// post-write barriers (crash between the disk write and the bin's
+  /// stable bookkeeping leaves an orphaned-but-unreferenced log page,
+  /// exactly like a real torn flush).
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
+
   /// Max record payload bytes a page can hold given whether it must embed
   /// a directory of `dir_entries` LSNs.
   uint32_t PagePayloadCapacity(size_t dir_entries) const;
@@ -143,16 +149,25 @@ class LogDiskWriter {
   Status ParseRawPage(uint64_t lsn, const std::vector<uint8_t>& raw,
                       ParsedLogPage* page) const;
 
+  /// Shared read path: duplex read with bounded virtual-backoff retries
+  /// on transient IOError, plus an explicit per-member retry when the
+  /// returned page is content-corrupt (its device CRC was fine but the
+  /// payload CRC or LSN identity is not).
+  Status ReadParsed(uint64_t lsn, uint64_t now_ns, sim::SeekClass seek,
+                    ParsedLogPage* page, uint64_t* done_ns, bool any_member);
+
   void NoteFlush(const char* kind, PartitionId pid, uint64_t now_ns,
                  uint64_t done_ns);
 
   Config config_;
   sim::DuplexedDisk* disks_;
   uint64_t next_lsn_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
 
   // Optional observers (null until attached).
   obs::Counter* m_pages_flushed_ = nullptr;
   obs::Counter* m_archive_pages_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
   obs::Histogram* m_flush_ns_ = nullptr;
   obs::Gauge* m_next_lsn_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

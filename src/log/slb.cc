@@ -77,6 +77,7 @@ void StableLogBuffer::ReleaseChain(Chain* chain) {
 }
 
 Status StableLogBuffer::Append(uint64_t txn_id, const LogRecord& rec) {
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   NoteTxnId(txn_id);
   Chain& chain = uncommitted_[txn_id];
   chain.txn_id = txn_id;
@@ -84,6 +85,7 @@ Status StableLogBuffer::Append(uint64_t txn_id, const LogRecord& rec) {
 }
 
 Status StableLogBuffer::Commit(uint64_t txn_id) {
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   auto it = uncommitted_.find(txn_id);
   if (it == uncommitted_.end()) {
     // Read-only transaction: nothing logged, commit is trivially done.
@@ -95,6 +97,7 @@ Status StableLogBuffer::Commit(uint64_t txn_id) {
 }
 
 Status StableLogBuffer::Discard(uint64_t txn_id) {
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   auto it = uncommitted_.find(txn_id);
   if (it == uncommitted_.end()) return Status::OK();
   ReleaseChain(&it->second);
@@ -163,6 +166,14 @@ void StableLogBuffer::ClearFinished(PartitionId pid) {
 
 void StableLogBuffer::SetCatalogRoot(std::vector<uint8_t> root) {
   catalog_root_ = std::move(root);
+  if (fault_ != nullptr && fault_->armed()) {
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kStableMemAccess;
+    ev.device = "slb.catalog_root";
+    ev.data = &catalog_root_;
+    Status st = fault_->OnSite(&ev);
+    (void)st;  // root writes complete; corruption surfaces at restart
+  }
 }
 
 void StableLogBuffer::OnCrash() {

@@ -81,6 +81,10 @@ class StableLogBuffer {
   /// pressure between the main CPU and the sort process is visible.
   void AttachMetrics(obs::MetricsRegistry* reg);
 
+  /// Arms fault barriers at the SLB's stable-mutation entry points and a
+  /// bit-flip hook on the catalog-root copy (device "slb.catalog_root").
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
+
   // --- transaction-side (main CPU) ----------------------------------------
 
   /// Appends a REDO record to `txn_id`'s private chain, allocating blocks
@@ -158,6 +162,7 @@ class StableLogBuffer {
 
   Config config_;
   sim::StableMemoryMeter* meter_;
+  fault::FaultInjector* fault_ = nullptr;
   std::unordered_map<uint64_t, Chain> uncommitted_;
   std::deque<Chain> committed_;  // commit order
   size_t read_offset_ = 0;       // cursor into committed_.front()'s block 0

@@ -81,6 +81,7 @@ Result<uint32_t> StableLogTail::FindBin(PartitionId pid) const {
 
 Status StableLogTail::AppendToActivePage(
     uint32_t bin_index, std::span<const uint8_t> record_bytes) {
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   auto b = bin(bin_index);
   if (!b.ok()) return b.status();
   PartitionBin* pb = b.value();
@@ -100,6 +101,7 @@ Status StableLogTail::AppendToActivePage(
 }
 
 Status StableLogTail::ResetAfterCheckpoint(uint32_t bin_index) {
+  MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   auto b = bin(bin_index);
   if (!b.ok()) return b.status();
   PartitionBin* pb = b.value();

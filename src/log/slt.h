@@ -90,6 +90,10 @@ class StableLogTail {
   /// completed checkpoint of an active partition).
   void AttachMetrics(obs::MetricsRegistry* reg);
 
+  /// Arms fault barriers at the SLT's stable-mutation entry points and a
+  /// bit-flip hook on the catalog-root copy (device "slt.catalog_root").
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
+
   /// Assigns a permanent bin to a newly allocated partition.
   Result<uint32_t> RegisterPartition(PartitionId pid);
 
@@ -118,6 +122,14 @@ class StableLogTail {
   /// stored twice, in the Stable Log Buffer and in the Stable Log Tail").
   void SetCatalogRoot(std::vector<uint8_t> root) {
     catalog_root_ = std::move(root);
+    if (fault_ != nullptr && fault_->armed()) {
+      fault::SiteEvent ev;
+      ev.site = fault::Site::kStableMemAccess;
+      ev.device = "slt.catalog_root";
+      ev.data = &catalog_root_;
+      Status st = fault_->OnSite(&ev);
+      (void)st;  // root writes complete; corruption surfaces at restart
+    }
   }
   const std::vector<uint8_t>& catalog_root() const { return catalog_root_; }
 
@@ -129,6 +141,7 @@ class StableLogTail {
 
   Config config_;
   sim::StableMemoryMeter* meter_;
+  fault::FaultInjector* fault_ = nullptr;
   std::vector<PartitionBin> bins_;
   std::vector<uint32_t> free_bins_;
   std::vector<uint8_t> catalog_root_;

@@ -55,6 +55,13 @@ class ArchiveManager {
   uint64_t archived_images() const { return archived_images_; }
   uint64_t archived_log_pages() const { return archived_log_pages_; }
 
+  /// Archived log pages (LSN → raw page bytes). The re-silverer restores
+  /// from here any page the healthy duplex member can no longer serve
+  /// (e.g. a latent-corrupt sector discovered during the copy).
+  const std::map<uint64_t, std::vector<uint8_t>>& log_page_archive() const {
+    return log_pages_;
+  }
+
  private:
   struct ImageCopy {
     uint64_t first_page;

@@ -138,9 +138,11 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
       }
     }
   }
-  if (!st.ok()) {
+  auto rollback_install = [&](Status why) {
     // Roll back the in-memory install; the row updates are undone by the
-    // transaction abort.
+    // transaction abort. The new image (whole or partial) may sit in its
+    // slot on disk, but nothing durable references it: the committed
+    // descriptor row still points at the old image.
     d->checkpoint_page = old_page;
     d->checkpoint_slot = old_slot;
     MMDB_CHECK(db.v_->disk_map.Free(slot).ok());
@@ -148,10 +150,20 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
     Status ab = db.Abort(txn);
     (void)ab;
     req->state = CheckpointState::kRequest;
-    return st;
-  }
+    return why;
+  };
+  if (!st.ok()) return rollback_install(st);
 
   // Step 6: write the partition image as a whole track and commit.
+  if (db.fault_->armed()) {
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kCheckpointTrackWrite;
+    ev.device = "ckpt";
+    ev.page_no = first_page;
+    ev.now_ns = db.clock_.now_ns();
+    Status hs = db.fault_->OnSite(&ev);
+    if (!hs.ok()) return rollback_install(hs);
+  }
   uint32_t page_bytes = db.opts_.log_page_bytes;
   std::vector<std::vector<uint8_t>> pages;
   for (size_t off = 0; off < image.size(); off += page_bytes) {
@@ -163,21 +175,32 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
       first_page, pages, db.clock_.now_ns(), sim::SeekClass::kNear);
   db.clock_.AdvanceTo(done);
   db.main_cpu_.IdleUntil(db.clock_.now_ns());
+  // A crash during the track write (partial image in the new slot) must
+  // not install the new checkpoint: the previous image stays authoritative.
+  st = fault::Barrier(db.fault_.get());
+  if (!st.ok()) return rollback_install(st);
   db.archive_->ArchiveCheckpointImage(pid, first_page, pages);
 
-  MMDB_RETURN_IF_ERROR(db.Commit(txn));
-  if (is_catalog) {
-    MMDB_RETURN_IF_ERROR(db.WriteCatalogRootBlock());
+  // Steps 6b-7: the descriptor-row commit, catalog-root update, and bin
+  // reset form one atomic stable transition. Without it, a crash between
+  // the commit (new image durable) and the bin reset would make restart
+  // replay the bin's full chain onto the already-updated image — and
+  // REDO replay is not idempotent.
+  CheckpointTrigger trigger;
+  {
+    fault::AtomicSection atomic(db.fault_.get());
+    MMDB_RETURN_IF_ERROR(db.Commit(txn));
+    if (is_catalog) {
+      MMDB_RETURN_IF_ERROR(db.WriteCatalogRootBlock());
+    }
+    req->state = CheckpointState::kFinished;
+    MMDB_RETURN_IF_ERROR(
+        db.recovery_->OnCheckpointFinished(bin_index, db.clock_.now_ns()));
+    trigger = req->trigger;
+    db.slb_->ClearFinished(pid);  // `req` is dangling after this line
+    req = nullptr;
   }
-
-  // Step 7: finished — the recovery manager flushes the partition's
-  // remaining log info (archive combine) and resets the bin.
-  req->state = CheckpointState::kFinished;
-  MMDB_RETURN_IF_ERROR(
-      db.recovery_->OnCheckpointFinished(bin_index, db.clock_.now_ns()));
-  CheckpointTrigger trigger = req->trigger;
-  db.slb_->ClearFinished(pid);  // `req` is dangling after this line
-  req = nullptr;
+  MMDB_RETURN_IF_ERROR(fault::Barrier(db.fault_.get()));
 
   if (db.opts_.audit_logging) {
     MMDB_RETURN_IF_ERROR(db.audit_->Append(AuditRecord{

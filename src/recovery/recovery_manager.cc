@@ -38,6 +38,10 @@ void RecoveryManager::UpdateWindowSlack() {
 Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns) {
   uint64_t n = 0;
   while (n < max_records && slb_->HasCommittedRecords()) {
+    MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
+    // Pop + bin-append are one atomic stable transition: the record is
+    // released from the SLB only once it is safely binned.
+    fault::AtomicSection atomic(fault_);
     auto rec = slb_->PopCommitted();
     if (!rec.ok()) return rec.status();
     MMDB_RETURN_IF_ERROR(SortOne(rec.value(), now_ns));
@@ -48,6 +52,8 @@ Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns) {
 
 Status RecoveryManager::Drain(uint64_t now_ns) {
   while (slb_->HasCommittedRecords()) {
+    MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
+    fault::AtomicSection atomic(fault_);
     auto rec = slb_->PopCommitted();
     if (!rec.ok()) return rec.status();
     MMDB_RETURN_IF_ERROR(SortOne(rec.value(), now_ns));

@@ -51,6 +51,12 @@ class RecoveryManager {
   /// boundary (0 = age checkpoints firing now).
   void AttachMetrics(obs::MetricsRegistry* reg);
 
+  /// Arms fault handling for the sort process. Each SLB-pop + bin-append
+  /// runs as one atomic stable transition (the real system releases a
+  /// record from the SLB only after binning it), so an injected crash
+  /// lands between records, never between the pop and the append.
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
+
   /// Sorts up to `max_records` committed records into partition bins,
   /// flushing full pages and raising checkpoint requests. Returns the
   /// number of records processed.
@@ -105,6 +111,7 @@ class RecoveryManager {
   StableLogTail* slt_;
   LogDiskWriter* log_writer_;
   sim::CpuModel* cpu_;
+  fault::FaultInjector* fault_ = nullptr;
 
   /// First-LSN list (§2.3.3): ordered by each active partition's oldest
   /// on-disk log page; only the head needs testing when the window moves.

@@ -1,6 +1,7 @@
 #include "recovery/restart_manager.h"
 
 #include "core/database.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace mmdb {
@@ -16,7 +17,22 @@ struct RootEntry {
 
 Status ParseRoot(std::span<const uint8_t> root, SegmentId* catalog_segment,
                  uint32_t* partition_size, std::vector<RootEntry>* entries) {
-  wire::Reader r(root);
+  // The block ends with a CRC over everything before it; a stable-memory
+  // bit flip anywhere in the copy is caught here, and the caller falls
+  // back to the other stable copy.
+  if (root.size() < 4) {
+    return Status::Corruption("truncated catalog root block");
+  }
+  size_t body = root.size() - 4;
+  uint32_t stored_crc;
+  {
+    wire::Reader tail(root.subspan(body));
+    MMDB_CHECK(tail.GetU32(&stored_crc));
+  }
+  if (Crc32(root.data(), body) != stored_crc) {
+    return Status::Corruption("catalog root block checksum mismatch");
+  }
+  wire::Reader r(root.subspan(0, body));
   uint32_t magic, count;
   if (!r.GetU32(&magic) || !r.GetU32(catalog_segment) ||
       !r.GetU32(partition_size) || !r.GetU32(&count)) {
@@ -60,13 +76,27 @@ Status RestartManager::Restart(RestartReport* report) {
     db.crashed_ = false;
     return Status::OK();
   }
-  if (root.empty()) root = root2;
-
   SegmentId catalog_segment = 0;
   uint32_t partition_size = 0;
   std::vector<RootEntry> entries;
-  MMDB_RETURN_IF_ERROR(
-      ParseRoot(root, &catalog_segment, &partition_size, &entries));
+  // The root is stored twice (SLB + SLT). Prefer the SLB copy but fall
+  // back to the SLT copy whenever the first fails to *parse* (checksum,
+  // magic, truncation), not only when it is missing; surface Corruption
+  // only when both copies are bad.
+  Status ps = root.empty()
+                  ? Status::Corruption("missing SLB catalog root copy")
+                  : ParseRoot(root, &catalog_segment, &partition_size,
+                              &entries);
+  if (!ps.ok()) {
+    Status ps2 = root2.empty()
+                     ? Status::Corruption("missing SLT catalog root copy")
+                     : ParseRoot(root2, &catalog_segment, &partition_size,
+                                 &entries);
+    if (!ps2.ok()) {
+      return Status::Corruption("catalog root bad in both stable copies: " +
+                                ps.ToString() + " / " + ps2.ToString());
+    }
+  }
   if (partition_size != db.opts_.partition_size_bytes) {
     return Status::Corruption("partition size changed across restart");
   }

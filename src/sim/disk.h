@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -37,6 +38,13 @@ struct DiskParams {
   double track_rate_multiplier = 2.0;
 };
 
+/// Bounded retry policy for transient disk read errors: callers in the
+/// log/checkpoint/restart read paths retry IOError up to
+/// `kReadRetryAttempts` total attempts, backing the virtual clock off by
+/// `attempt * kReadRetryBackoffNs` between attempts.
+inline constexpr uint32_t kReadRetryAttempts = 3;
+inline constexpr uint64_t kReadRetryBackoffNs = 500'000;  // 0.5 ms
+
 /// Kinds of positioning cost for an access.
 enum class SeekClass {
   kSequential,  // head already positioned (e.g. circular-queue head)
@@ -51,6 +59,13 @@ enum class SeekClass {
 /// destroyed); `FailMedia()` simulates a media failure for archive-recovery
 /// tests by dropping all stored pages and failing subsequent reads until
 /// `RepairMedia()` is called.
+///
+/// Every stored page carries a device-level CRC ("sector checksum")
+/// computed when the page is written. Reads verify it and return
+/// Status::Corruption on mismatch, which is how injected latent sector
+/// corruption surfaces. Torn writes stay CRC-consistent at the device
+/// level (each sector is internally whole) and are only detectable by
+/// content-level checks such as the log-page payload CRC.
 ///
 /// Timing model: the disk serializes requests on its own `busy_until`
 /// timeline. A request submitted at time `t` starts at max(t, busy_until)
@@ -72,6 +87,10 @@ class Disk {
   /// read/write counters plus an observed-latency histogram per
   /// direction (queueing + positioning + transfer, virtual ns).
   void AttachMetrics(obs::MetricsRegistry* reg);
+
+  /// Arms the fault hooks at this disk's `disk.write` / `disk.read`
+  /// sites; pass null (the default state) to leave them as no-ops.
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
 
   /// Submit a one-page write. Returns the completion time (ns).
   uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
@@ -104,10 +123,19 @@ class Disk {
     return store_.find(page_no) != store_.end();
   }
 
+  /// True when the page is stored and its device CRC verifies. Used by
+  /// the re-silverer to skip pages already copied (idempotent resume).
+  bool PageClean(uint64_t page_no) const;
+
+  /// All stored page numbers in ascending order (deterministic
+  /// enumeration for re-silvering).
+  std::vector<uint64_t> StoredPageNumbers() const;
+
   /// Simulated media failure: drops all pages; reads fail until repaired.
   void FailMedia() {
     failed_ = true;
     store_.clear();
+    crc_.clear();
   }
   void RepairMedia() { failed_ = false; }
   bool media_failed() const { return failed_; }
@@ -128,6 +156,11 @@ class Disk {
   uint64_t BeginOp(uint64_t now_ns) {
     return now_ns > busy_until_ns_ ? now_ns : busy_until_ns_;
   }
+  void StorePage(uint64_t page_no, const std::vector<uint8_t>& data);
+  /// Fires the disk.read hook and verifies the device CRC for one stored
+  /// page. Returns non-OK on injected errors or CRC mismatch.
+  Status CheckReadPage(uint64_t page_no, std::vector<uint8_t>* stored,
+                       uint64_t now_ns);
   void NoteWrite(uint64_t pages, uint64_t bytes, uint64_t now_ns,
                  uint64_t done_ns) {
     if (m_pages_written_ == nullptr) return;
@@ -146,7 +179,9 @@ class Disk {
   std::string name_;
   DiskParams params_;
   std::unordered_map<uint64_t, std::vector<uint8_t>> store_;
+  std::unordered_map<uint64_t, uint32_t> crc_;
   bool failed_ = false;
+  fault::FaultInjector* fault_ = nullptr;
 
   uint64_t busy_until_ns_ = 0;
   uint64_t pages_written_ = 0;
@@ -169,16 +204,27 @@ class Disk {
 /// A duplexed pair of disks (the paper's log disks are duplexed).
 ///
 /// Writes go to both members; the logical completion time is the later of
-/// the two. Reads are served by the primary unless its media failed, in
-/// which case the mirror transparently takes over.
+/// the two. Reads try one member and fall back to the other on any
+/// per-page failure (corrupt CRC, media failure, transient error), not
+/// just whole-media loss; the duplex surfaces an error only when both
+/// copies fail, preferring the more diagnostic status (Corruption over
+/// IOError over NotFound).
 class DuplexedDisk {
  public:
   DuplexedDisk(std::string name, DiskParams params)
-      : primary_(name + "-a", params), mirror_(name + "-b", params) {}
+      : name_(std::move(name)),
+        primary_(name_ + "-a", params),
+        mirror_(name_ + "-b", params) {}
 
   void AttachMetrics(obs::MetricsRegistry* reg) {
     primary_.AttachMetrics(reg);
     mirror_.AttachMetrics(reg);
+    m_fallbacks_ = reg->counter("disk." + name_ + ".mirror_fallbacks");
+  }
+
+  void SetFaultInjector(fault::FaultInjector* inj) {
+    primary_.SetFaultInjector(inj);
+    mirror_.SetFaultInjector(inj);
   }
 
   uint64_t WritePage(uint64_t page_no, const std::vector<uint8_t>& data,
@@ -188,36 +234,54 @@ class DuplexedDisk {
     return a > b ? a : b;
   }
 
+  /// Read preferring the primary, transparently retrying the mirror on a
+  /// per-page failure.
   Status ReadPage(uint64_t page_no, uint64_t now_ns, SeekClass seek,
                   std::vector<uint8_t>* data, uint64_t* done_ns) {
-    if (!primary_.media_failed()) {
-      return primary_.ReadPage(page_no, now_ns, seek, data, done_ns);
-    }
-    return mirror_.ReadPage(page_no, now_ns, seek, data, done_ns);
+    return ReadWithFallback(&primary_, &mirror_, page_no, now_ns, seek, data,
+                            done_ns);
   }
 
   /// Read served by whichever member's queue frees up sooner (both hold
   /// every page, so concurrent recovery lanes can fan reads across the
-  /// pair). Ties go to the primary, so the choice is deterministic.
+  /// pair), falling back to the other member on per-page failure. Ties go
+  /// to the primary, so the choice is deterministic.
   Status ReadPageAny(uint64_t page_no, uint64_t now_ns, SeekClass seek,
                      std::vector<uint8_t>* data, uint64_t* done_ns) {
-    Disk* d = &primary_;
+    Disk* first = &primary_;
+    Disk* second = &mirror_;
     if (primary_.media_failed() ||
         (!mirror_.media_failed() &&
          mirror_.busy_until_ns() < primary_.busy_until_ns())) {
-      d = &mirror_;
+      first = &mirror_;
+      second = &primary_;
     }
-    return d->ReadPage(page_no, now_ns, seek, data, done_ns);
+    return ReadWithFallback(first, second, page_no, now_ns, seek, data,
+                            done_ns);
   }
 
+  uint64_t mirror_fallbacks() const { return mirror_fallbacks_; }
+
+  const std::string& name() const { return name_; }
   Disk& primary() { return primary_; }
   Disk& mirror() { return mirror_; }
   const Disk& primary() const { return primary_; }
   const Disk& mirror() const { return mirror_; }
 
+  /// Member access by index (0 = primary, 1 = mirror), for re-silvering.
+  Disk& member(int i) { return i == 0 ? primary_ : mirror_; }
+  const Disk& member(int i) const { return i == 0 ? primary_ : mirror_; }
+
  private:
+  Status ReadWithFallback(Disk* first, Disk* second, uint64_t page_no,
+                          uint64_t now_ns, SeekClass seek,
+                          std::vector<uint8_t>* data, uint64_t* done_ns);
+
+  std::string name_;
   Disk primary_;
   Disk mirror_;
+  uint64_t mirror_fallbacks_ = 0;
+  obs::Counter* m_fallbacks_ = nullptr;
 };
 
 }  // namespace mmdb::sim

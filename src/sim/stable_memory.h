@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
+
 namespace mmdb::sim {
 
 /// Accounting model of the paper's stable, reliable memory.
@@ -35,13 +37,20 @@ class StableMemoryMeter {
   /// default analysis leaves it unused).
   double ChargeWrite(uint64_t n) {
     bytes_written_ += n;
+    FireAccessHook();
     return PenaltyNs(n);
   }
 
   double ChargeRead(uint64_t n) {
     bytes_read_ += n;
+    FireAccessHook();
     return PenaltyNs(n);
   }
+
+  /// Arms the `stable_mem.access` fault site: every charge counts as one
+  /// visit. The hook is fire-and-latch (a charge cannot fail); injected
+  /// crashes take effect at the component's next fault barrier.
+  void SetFaultInjector(fault::FaultInjector* inj) { fault_ = inj; }
 
   /// Track current allocation so capacity can be enforced by callers.
   void Allocate(uint64_t n) { allocated_bytes_ += n; }
@@ -64,6 +73,15 @@ class StableMemoryMeter {
   }
 
  private:
+  void FireAccessHook() {
+    if (fault_ == nullptr || !fault_->armed()) return;
+    fault::SiteEvent ev;
+    ev.site = fault::Site::kStableMemAccess;
+    ev.device = "stable_mem";
+    Status st = fault_->OnSite(&ev);
+    (void)st;
+  }
+
   double PenaltyNs(uint64_t n) const {
     // (slowdown - 1) extra regular-memory reference times per 8-byte word,
     // at 1000 ns per reference.
@@ -73,6 +91,7 @@ class StableMemoryMeter {
 
   uint64_t capacity_bytes_;
   double slowdown_factor_;
+  fault::FaultInjector* fault_ = nullptr;
   uint64_t allocated_bytes_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;

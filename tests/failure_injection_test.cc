@@ -1,10 +1,15 @@
-// Failure-injection tests: corruption of stable structures must surface
-// as Status::Corruption at recovery time, never as silent wrong answers;
-// duplexed log disks must mask single-member media failures.
+// Failure-injection tests, driven by the deterministic fault-injection
+// subsystem (src/fault): corruption of stable structures must surface as
+// Status::Corruption at recovery time, never as silent wrong answers;
+// duplexed log disks must mask single-member failures; transient read
+// errors must be retried; injected crashes must recover to a consistent
+// state. One legacy byte-poke test is kept as a cross-check that the
+// FaultPlan sites model the same failures the raw pokes did.
 
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "fault/fault.h"
 #include "test_util.h"
 
 namespace mmdb {
@@ -39,6 +44,10 @@ class FailureInjectionTest : public ::testing::Test {
   Database db_;
 };
 
+// ---------------------------------------------------------------------------
+// Legacy byte-poke cross-check: pokes the stored bytes directly instead of
+// going through a FaultPlan, verifying that the injector's latent-corruption
+// model matches what a raw bit flip on the platter would do.
 TEST_F(FailureInjectionTest, CorruptLogPageOnBothMirrorsDetectedAtRestart) {
   // Keep checkpoints off so the first log page stays in a bin chain and
   // must be read back at recovery.
@@ -74,7 +83,57 @@ TEST_F(FailureInjectionTest, CorruptLogPageOnBothMirrorsDetectedAtRestart) {
   EXPECT_TRUE(st.IsCorruption()) << st.ToString();
 }
 
-TEST_F(FailureInjectionTest, SingleMirrorCorruptionIsMasked) {
+// FaultPlan port of the test above: latent sector corruption on both
+// members of the duplexed pair, detected by the device CRC at restart.
+TEST_F(FailureInjectionTest, LatentCorruptionOnBothMirrorsDetectedAtRestart) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db, "r", 0, 400));
+  ASSERT_GT(db.log_writer().pages_written(), 0u);
+
+  fault::FaultPlan plan;
+  plan.LatentCorruption("log-a", 0).LatentCorruption("log-b", 0);
+  db.ArmFaultPlan(plan);
+
+  db.Crash();
+  Status st = db.Restart();
+  if (st.ok()) {
+    auto txn = db.Begin();
+    ASSERT_OK(txn.status());
+    st = db.Scan(txn.value(), "r").status();
+  }
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_GE(db.fault_injector().injected(fault::Site::kDiskRead), 1u);
+}
+
+TEST_F(FailureInjectionTest, SingleMirrorLatentCorruptionIsMaskedAndCounted) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db, "r", 0, 400));
+
+  fault::FaultPlan plan;
+  plan.LatentCorruption("log-a", 0);  // primary only
+  db.ArmFaultPlan(plan);
+
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  auto txn = db.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 400u);
+  ASSERT_OK(db.Commit(txn.value()));
+  // The duplex transparently served page 0 from the mirror.
+  EXPECT_GE(db.log_disks().mirror_fallbacks(), 1u);
+  EXPECT_GE(db.metrics().counter("disk.log.mirror_fallbacks")->value(), 1u);
+}
+
+TEST_F(FailureInjectionTest, SingleMirrorMediaFailureIsMasked) {
   ASSERT_OK(db_.CreateRelation("r", S()));
   ASSERT_OK(Fill(&db_, "r", 0, 400));
   // Fail only the primary: the duplexed pair serves from the mirror.
@@ -88,6 +147,76 @@ TEST_F(FailureInjectionTest, SingleMirrorCorruptionIsMasked) {
   ASSERT_OK(db_.Commit(txn.value()));
 }
 
+TEST_F(FailureInjectionTest, TransientReadErrorsAreRetriedAtRestart) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 400));
+
+  // Both members' first read after the crash fails once: the duplex
+  // cannot mask it (both copies error), so the log read path must retry
+  // with backoff — and succeed on the second attempt.
+  fault::FaultPlan plan;
+  plan.TransientReadError("log-a", 1, 1).TransientReadError("log-b", 1, 1);
+  db_.ArmFaultPlan(plan);
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 400u);
+  ASSERT_OK(db_.Commit(txn.value()));
+  EXPECT_GE(db_.metrics().counter("disk.retries_total")->value(), 1u);
+  EXPECT_GE(db_.fault_injector().injected(fault::Site::kDiskRead), 2u);
+}
+
+TEST_F(FailureInjectionTest, TornLogPageOnBothMembersDetectedAtRestart) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+
+  // Tear the first flushed bin page on both members. A torn write is
+  // sector-consistent (device CRC matches), so only the log page's
+  // content-level checksum can catch it at restart.
+  fault::FaultPlan plan;
+  plan.TornWrite("log-a", 1).TornWrite("log-b", 1);
+  db.ArmFaultPlan(plan);
+
+  ASSERT_OK(Fill(&db, "r", 0, 400));
+  ASSERT_GE(db.fault_injector().injected(fault::Site::kDiskWrite), 2u);
+
+  db.Crash();
+  Status st = db.Restart();
+  if (st.ok()) {
+    auto txn = db.Begin();
+    ASSERT_OK(txn.status());
+    st = db.Scan(txn.value(), "r").status();
+  }
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, TornLogPageOnSingleMemberIsMasked) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+
+  fault::FaultPlan plan;
+  plan.TornWrite("log-a", 1);  // primary's copy of the first bin page
+  db.ArmFaultPlan(plan);
+
+  ASSERT_OK(Fill(&db, "r", 0, 400));
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  auto txn = db.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 400u);
+  ASSERT_OK(db.Commit(txn.value()));
+}
+
 TEST_F(FailureInjectionTest, CorruptCheckpointImageDetected) {
   ASSERT_OK(db_.CreateRelation("r", S()));
   ASSERT_OK(Fill(&db_, "r", 0, 100));
@@ -96,13 +225,13 @@ TEST_F(FailureInjectionTest, CorruptCheckpointImageDetected) {
   ASSERT_FALSE(rel->partitions.empty());
   uint64_t page = rel->partitions[0].checkpoint_page;
   ASSERT_NE(page, kNoCheckpointPage);
-  // Smash the image's first page (the partition header).
-  std::vector<uint8_t> raw;
-  uint64_t done;
-  ASSERT_OK(db_.checkpoint_disk().ReadPage(page, 0, sim::SeekClass::kNear,
-                                           &raw, &done));
-  for (size_t i = 0; i < 16; ++i) raw[i] = 0xFF;
-  db_.checkpoint_disk().WritePage(page, raw, 0, sim::SeekClass::kNear);
+
+  // Latent corruption of the image's first page (the partition header),
+  // detected by the device CRC when recovery reads it back. The single
+  // checkpoint disk has no mirror, so the error must surface.
+  fault::FaultPlan plan;
+  plan.LatentCorruption("ckpt", page);
+  db_.ArmFaultPlan(plan);
 
   db_.Crash();
   Status st = db_.Restart();
@@ -112,6 +241,162 @@ TEST_F(FailureInjectionTest, CorruptCheckpointImageDetected) {
     st = db_.Scan(txn.value(), "r").status();
   }
   EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, SlbRootBitFlipFallsBackToSltCopy) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 50));
+
+  // Flip one bit in the SLB copy of the catalog root block on every
+  // write of it: the root's trailing CRC rejects the copy at restart and
+  // the SLT copy carries the recovery.
+  fault::FaultPlan plan;
+  fault::FaultSpec s;
+  s.site = fault::Site::kStableMemAccess;
+  s.kind = fault::FaultKind::kBitFlip;
+  s.device = "slb.catalog_root";
+  s.nth_visit = 1;
+  s.count = ~uint32_t{0};  // every root write
+  plan.specs.push_back(s);
+  db_.ArmFaultPlan(plan);
+
+  ASSERT_OK(db_.CheckpointEverything());
+  ASSERT_GE(db_.fault_injector().injected(fault::Site::kStableMemAccess), 1u);
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 50u);
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(FailureInjectionTest, BothRootCopiesCorruptSurfaceAsCorruption) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 50));
+  ASSERT_OK(db_.CheckpointEverything());
+  db_.Crash();
+  // Poke one byte in each stable copy of the root: both checksums fail
+  // and restart must refuse rather than trust either copy.
+  std::vector<uint8_t> r1 = db_.slb().catalog_root();
+  std::vector<uint8_t> r2 = db_.slt().catalog_root();
+  ASSERT_FALSE(r1.empty());
+  ASSERT_FALSE(r2.empty());
+  r1[5] ^= 0x10;
+  r2[5] ^= 0x10;
+  db_.slb().SetCatalogRoot(r1);
+  db_.slt().SetCatalogRoot(r2);
+  Status st = db_.Restart();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, CrashAtVisitOnSlbFlushRecovers) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+
+  fault::FaultPlan plan;
+  plan.CrashAtVisit(fault::Site::kSlbFlush, 1);
+  db.ArmFaultPlan(plan);
+
+  // Bin pages are flushed by the recovery CPU's sort pump, which runs
+  // after the SLB commit point: the commit call surfaces the injected
+  // fault, but the transaction is already durable — the canonical
+  // in-doubt outcome. Recovery must therefore restore all 400 rows.
+  Status st = Fill(&db, "r", 0, 400);
+  ASSERT_TRUE(st.IsFault()) << st.ToString();
+  ASSERT_TRUE(db.fault_injector().crash_pending());
+  EXPECT_EQ(db.fault_injector().crashes_fired(), 1u);
+
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  {
+    auto txn = db.Begin();
+    ASSERT_OK(txn.status());
+    ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+    EXPECT_EQ(rows.size(), 400u);  // in-doubt txn was durable: all or nothing
+    ASSERT_OK(db.Commit(txn.value()));
+  }
+  // The recovered database accepts new work.
+  ASSERT_OK(Fill(&db, "r", 400, 800));
+  auto txn = db.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 800u);
+  ASSERT_OK(db.Commit(txn.value()));
+}
+
+TEST_F(FailureInjectionTest, CrashAtTimeRecovers) {
+  ASSERT_OK(db_.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db_, "r", 0, 400));
+
+  // Crash at the first fault site visited 2 virtual ms from now. The
+  // virtual clock advances in bursts around the commit/flush path, so
+  // the trigger lands after the second fill's SLB commit point: the fill
+  // surfaces the fault (in-doubt) but its rows are durable.
+  fault::FaultPlan plan;
+  plan.CrashAtTime(db_.now_ns() + 2'000'000);
+  db_.ArmFaultPlan(plan);
+
+  Status st = Fill(&db_, "r", 400, 800);
+  ASSERT_TRUE(st.IsFault()) << st.ToString();
+  EXPECT_EQ(db_.fault_injector().crashes_fired(), 1u);
+
+  db_.Crash();
+  ASSERT_OK(db_.Restart());
+  auto txn = db_.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db_.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 800u);  // both fills durable, nothing partial
+  ASSERT_OK(db_.Commit(txn.value()));
+}
+
+TEST_F(FailureInjectionTest, CrashDuringCheckpointKeepsPreviousImage) {
+  DatabaseOptions o = SmallOptions();
+  o.n_update = 1ull << 30;
+  o.auto_run_checkpoints = false;
+  Database db(o);
+  ASSERT_OK(db.CreateRelation("r", S()));
+  ASSERT_OK(Fill(&db, "r", 0, 150));
+  ASSERT_OK(db.CheckpointEverything());
+  uint64_t v1_page;
+  {
+    ASSERT_OK_AND_ASSIGN(auto* rel, db.catalog().GetRelation("r"));
+    ASSERT_FALSE(rel->partitions.empty());
+    v1_page = rel->partitions[0].checkpoint_page;
+    ASSERT_NE(v1_page, kNoCheckpointPage);
+  }
+  ASSERT_OK(Fill(&db, "r", 150, 300));
+
+  // Tear the next checkpoint image's track write AND crash on the same
+  // visit: a partial track lands on the checkpoint disk, but the install
+  // is rolled back, so the descriptor still names the previous image.
+  fault::FaultPlan plan;
+  plan.TornWrite("ckpt", 1);
+  fault::FaultSpec crash;
+  crash.site = fault::Site::kDiskWrite;
+  crash.kind = fault::FaultKind::kCrash;
+  crash.device = "ckpt";
+  crash.nth_visit = 1;
+  plan.specs.push_back(crash);
+  db.ArmFaultPlan(plan);
+
+  Status st = db.ForceCheckpointRelation("r");
+  ASSERT_TRUE(st.IsFault()) << st.ToString();
+
+  db.Crash();
+  ASSERT_OK(db.Restart());
+  auto txn = db.Begin();
+  ASSERT_OK(txn.status());
+  ASSERT_OK_AND_ASSIGN(auto rows, db.Scan(txn.value(), "r"));
+  EXPECT_EQ(rows.size(), 300u);  // previous image + log replay
+  ASSERT_OK(db.Commit(txn.value()));
+  ASSERT_OK_AND_ASSIGN(auto* rel, db.catalog().GetRelation("r"));
+  EXPECT_EQ(rel->partitions[0].checkpoint_page, v1_page)
+      << "partial checkpoint track must not be installed";
 }
 
 TEST_F(FailureInjectionTest, MissingCatalogRootIsFreshStart) {
