@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "recovery/checkpointer.h"
 #include "recovery/restart_manager.h"
@@ -115,9 +116,109 @@ PartitionManager& Database::partitions() { return v_->pm; }
 LockManager& Database::locks() { return v_->locks; }
 
 void Database::MainWork(double instructions) {
+  if (exec_ != nullptr) {
+    // Worker mode: the work lands on the worker's private timeline (the
+    // global clock only moves at synchronization points). The aggregate
+    // instruction total still covers all workers.
+    exec_->cpu->Execute(instructions);
+    main_cpu_.AccountInstructions(instructions);
+    return;
+  }
   main_cpu_.Execute(instructions);
   clock_.Advance(
       static_cast<uint64_t>(instructions * main_cpu_.ns_per_instruction()));
+}
+
+void Database::WaitUntil(uint64_t t_ns) {
+  if (exec_ != nullptr) {
+    exec_->cpu->IdleUntil(t_ns);
+    return;
+  }
+  clock_.AdvanceTo(t_ns);
+  main_cpu_.IdleUntil(clock_.now_ns());
+}
+
+void Database::BindExecContext(ExecContext* ctx) {
+  exec_ = ctx;
+  if (ctx != nullptr) {
+    ctx->blocked = false;
+    ctx->blocked_on = LockResource{};
+    ctx->deadlock_victims.clear();
+  }
+}
+
+uint64_t Database::vnow() const {
+  return exec_ != nullptr ? exec_->cpu->busy_until_ns() : clock_.now_ns();
+}
+
+Status Database::LockForTxn(Transaction* txn, const LockResource& res,
+                            LockMode mode) {
+  if (exec_ == nullptr || txn->kind() != TxnKind::kUser) {
+    return v_->locks.Acquire(txn->id(), res, mode);
+  }
+  LockManager::LockRequestResult r =
+      v_->locks.AcquireOrWait(txn->id(), res, mode);
+  switch (r.outcome) {
+    case LockManager::LockOutcome::kGranted:
+      return Status::OK();
+    case LockManager::LockOutcome::kWaiting:
+      exec_->blocked = true;
+      exec_->blocked_on = res;
+      exec_->deadlock_victims.insert(exec_->deadlock_victims.end(),
+                                     r.victims.begin(), r.victims.end());
+      return Status::Busy("lock wait");
+    case LockManager::LockOutcome::kDeadlockSelf:
+      // Victims start with the requester itself; other cycles the same
+      // request closed may have appointed parked victims as well.
+      exec_->deadlock_victims.insert(exec_->deadlock_victims.end(),
+                                     r.victims.begin(), r.victims.end());
+      return Status::Busy("deadlock victim");
+  }
+  return Status::Busy("lock wait");
+}
+
+void Database::NoteGrants(std::vector<uint64_t> granted) {
+  uint64_t t = vnow();
+  for (uint64_t id : granted) pending_grants_.emplace_back(id, t);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Database::TakePendingGrants() {
+  return std::exchange(pending_grants_, {});
+}
+
+void Database::SlbAllocationGate() {
+  if (exec_ == nullptr) return;
+  uint64_t svc = static_cast<uint64_t>(opts_.lock_instructions *
+                                       main_cpu_.ns_per_instruction());
+  uint64_t ready = vnow();
+  uint64_t done = slb_gate_.Occupy(ready, svc);
+  // The allocation bookkeeping itself is already charged through the
+  // copy-cost instructions; only the queueing delay behind another
+  // worker inside the critical section costs extra. A single stream
+  // therefore never pays anything here.
+  if (done > ready + svc) exec_->cpu->Stall(done - ready - svc);
+}
+
+Database::OpMark Database::MarkOperation(Transaction* txn) const {
+  OpMark m;
+  m.undo_depth = v_->undo.Depth(txn->id());
+  m.slb = slb_->Mark(txn->id());
+  m.redo = txn->redo_mark();
+  return m;
+}
+
+Status Database::RollbackOperation(Transaction* txn, const OpMark& mark) {
+  std::vector<LogRecord> undo =
+      v_->undo.TakeReversedFrom(txn->id(), mark.undo_depth);
+  for (const LogRecord& rec : undo) {
+    auto pr = v_->pm.Get(rec.partition);
+    if (!pr.ok()) return pr.status();
+    MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, pr.value()));
+    MainWork(opts_.apply_instructions_per_record);
+  }
+  slb_->Rewind(txn->id(), mark.slb);
+  txn->RestoreRedo(mark.redo);
+  return Status::OK();
 }
 
 namespace {
@@ -136,7 +237,7 @@ void Database::ApplyCommitDurability(uint64_t redo_bytes) {
       if (redo_bytes == 0) return;  // read-only
       uint64_t pages =
           (redo_bytes + opts_.log_page_bytes - 1) / opts_.log_page_bytes;
-      uint64_t start = clock_.now_ns();
+      uint64_t start = vnow();
       uint64_t done = start;
       std::vector<uint8_t> marker(16, 0);
       for (uint64_t p = 0; p < pages; ++p) {
@@ -144,8 +245,7 @@ void Database::ApplyCommitDurability(uint64_t redo_bytes) {
                                      marker, done,
                                      sim::SeekClass::kSequential);
       }
-      clock_.AdvanceTo(done);
-      main_cpu_.IdleUntil(clock_.now_ns());
+      WaitUntil(done);
       ++log_forces_;
       m_log_forces_->Add(1);
       commit_wait_ms_total_ += static_cast<double>(done - start) * 1e-6;
@@ -155,7 +255,7 @@ void Database::ApplyCommitDurability(uint64_t redo_bytes) {
     }
     case CommitMode::kGroupCommit: {
       group_pending_bytes_ += redo_bytes;
-      group_pending_since_ns_.push_back(clock_.now_ns());
+      group_pending_since_ns_.push_back(vnow());
       if (group_pending_since_ns_.size() >= opts_.group_commit_txns) {
         FlushCommitGroup();
       }
@@ -169,20 +269,24 @@ void Database::FlushCommitGroup() {
   uint64_t pages = (group_pending_bytes_ + opts_.log_page_bytes - 1) /
                    opts_.log_page_bytes;
   if (pages == 0) pages = 1;
-  uint64_t done = clock_.now_ns();
+  // Under concurrent execution the group's flush starts no earlier than
+  // the flushing worker's own time; members from other workers recorded
+  // their precommit times above (`since`) and wait the difference.
+  uint64_t done = vnow();
   std::vector<uint8_t> marker(16, 0);
   for (uint64_t p = 0; p < pages; ++p) {
     done = log_disks_->WritePage(kWalPageBase + wal_page_counter_++, marker,
                                  done, sim::SeekClass::kSequential);
   }
-  clock_.AdvanceTo(done);
-  main_cpu_.IdleUntil(clock_.now_ns());
+  WaitUntil(done);
   ++log_forces_;
   m_log_forces_->Add(1);
   for (uint64_t since : group_pending_since_ns_) {
-    commit_wait_ms_total_ += static_cast<double>(done - since) * 1e-6;
+    // A member from a worker ahead of the flusher's timeline waited 0.
+    uint64_t waited = done > since ? done - since : 0;
+    commit_wait_ms_total_ += static_cast<double>(waited) * 1e-6;
     ++commits_waited_;
-    m_commit_wait_ns_->Record(static_cast<double>(done - since));
+    m_commit_wait_ns_->Record(static_cast<double>(waited));
   }
   group_pending_since_ns_.clear();
   group_pending_bytes_ = 0;
@@ -194,14 +298,16 @@ void Database::FlushCommitGroup() {
 
 Status Database::AppendRedo(Transaction* txn, const LogRecord& redo,
                             const LogRecord& undo) {
+  uint64_t blocks_before = slb_->blocks_allocated();
   Status st = slb_->Append(txn->id(), redo);
   if (st.IsFull()) {
     // Let the recovery CPU's sort process free committed blocks, then
     // retry once.
-    MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+    MMDB_RETURN_IF_ERROR(recovery_->Drain(vnow()));
     st = slb_->Append(txn->id(), redo);
   }
   if (!st.ok()) return st;
+  if (slb_->blocks_allocated() != blocks_before) SlbAllocationGate();
   v_->undo.Push(txn->id(), undo);
   txn->NoteRedo(redo.SerializedSize());
   MainWork(opts_.costs.i_copy_fixed +
@@ -244,8 +350,7 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
   EntityAddr addr{target->id(), slot};
 
   // The slot may have been freed by a still-active deleter: respect 2PL.
-  Status lock = v_->locks.Acquire(txn->id(), LockResource::Entity(addr),
-                                  LockMode::kX);
+  Status lock = LockForTxn(txn, LockResource::Entity(addr), LockMode::kX);
   MainWork(opts_.lock_instructions);
   if (!lock.ok()) {
     MMDB_CHECK(target->Delete(slot).ok());
@@ -280,7 +385,7 @@ Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
   Partition* p = pr.value();
 
   MMDB_RETURN_IF_ERROR(
-      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+      LockForTxn(txn, LockResource::Entity(addr), LockMode::kX));
   MainWork(opts_.lock_instructions);
 
   auto pre_r = p->Read(addr.slot);
@@ -313,7 +418,7 @@ Status Database::DeleteEntity(Transaction* txn, const EntityAddr& addr) {
   Partition* p = pr.value();
 
   MMDB_RETURN_IF_ERROR(
-      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+      LockForTxn(txn, LockResource::Entity(addr), LockMode::kX));
   MainWork(opts_.lock_instructions);
 
   auto pre_r = p->Read(addr.slot);
@@ -342,8 +447,8 @@ Result<std::vector<uint8_t>> Database::ReadEntity(Transaction* txn,
   if (!pr.ok()) return pr.status();
   Partition* p = pr.value();
   if (txn != nullptr) {
-    MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-        txn->id(), LockResource::Entity(addr), LockMode::kS));
+    MMDB_RETURN_IF_ERROR(
+        LockForTxn(txn, LockResource::Entity(addr), LockMode::kS));
     MainWork(opts_.lock_instructions);
   }
   auto bytes = p->Read(addr.slot);
@@ -368,7 +473,7 @@ Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
   Partition* p = pr.value();
 
   MMDB_RETURN_IF_ERROR(
-      v_->locks.Acquire(txn->id(), LockResource::Entity(addr), LockMode::kX));
+      LockForTxn(txn, LockResource::Entity(addr), LockMode::kX));
   MainWork(opts_.lock_instructions);
 
   auto pre_r = p->Read(addr.slot);
@@ -422,15 +527,27 @@ Result<Partition*> Database::ResidentPartition(PartitionId pid) {
   if (d->resident) {
     return Status::Corruption("descriptor resident but partition missing");
   }
+  // A bound worker joins the shared system clock for the restore (the
+  // devices and recovery lanes are scheduled on it) and resumes its own
+  // timeline at completion; other workers keep running — the recovery
+  // only occupies the devices, and a later worker touching the same
+  // partition finds it resident.
+  ExecContext* ctx = std::exchange(exec_, nullptr);
+  if (ctx != nullptr) clock_.AdvanceTo(ctx->cpu->busy_until_ns());
   RestartReport scratch;
   uint64_t start_ns = clock_.now_ns();
-  MMDB_RETURN_IF_ERROR(
-      RecoverPartitionInternal(pid, d->checkpoint_page, &scratch));
+  Status rec = RecoverPartitionInternal(pid, d->checkpoint_page, &scratch);
+  if (ctx != nullptr) {
+    ctx->cpu->IdleUntil(clock_.now_ns());
+    exec_ = ctx;
+  }
+  MMDB_RETURN_IF_ERROR(rec);
   ++on_demand_recoveries_;
   m_ondemand_count_->Add(1);
   m_ondemand_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
-  tracer_.Span(obs::Track::kMainCpu, "recovery",
-               "on-demand " + pid.ToString(), start_ns,
+  obs::Track track = ctx != nullptr ? obs::WorkerTrack(ctx->worker)
+                                    : obs::Track::kMainCpu;
+  tracer_.Span(track, "recovery", "on-demand " + pid.ToString(), start_ns,
                clock_.now_ns() - start_ns);
   return v_->pm.Get(pid);
 }
@@ -919,10 +1036,10 @@ Result<Transaction*> Database::Begin(TxnKind kind,
   MMDB_RETURN_IF_ERROR(fault::Barrier(fault_.get()));
   MainWork(50);
   Transaction* txn = v_->txns.Begin(kind);
-  txn->set_begin_ns(clock_.now_ns());
+  txn->set_begin_ns(vnow());
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(AuditRecord{
-        txn->id(), clock_.now_ns(), AuditKind::kBegin, user_data}));
+        txn->id(), vnow(), AuditKind::kBegin, user_data}));
   }
   return txn;
 }
@@ -936,32 +1053,61 @@ Status Database::Commit(Transaction* txn) {
   TxnKind kind = txn->kind();
   uint64_t redo_bytes = txn->redo_bytes();
   uint64_t begin_ns = txn->begin_ns();
+  // Moving the chain to the committed list touches the SLB's shared
+  // lists — the same critical section as block allocation (§2.3.1).
+  SlbAllocationGate();
   MMDB_RETURN_IF_ERROR(slb_->Commit(id));
   if (kind == TxnKind::kUser) ApplyCommitDurability(redo_bytes);
   if (kind == TxnKind::kUser) {
-    m_txn_latency_ns_->Record(static_cast<double>(clock_.now_ns() - begin_ns));
-    tracer_.Span(obs::Track::kMainCpu, "txn", "txn " + std::to_string(id),
-                 begin_ns, clock_.now_ns() - begin_ns);
+    obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
+                                        : obs::Track::kMainCpu;
+    m_txn_latency_ns_->Record(static_cast<double>(vnow() - begin_ns));
+    tracer_.Span(track, "txn", "txn " + std::to_string(id), begin_ns,
+                 vnow() - begin_ns);
   }
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
-        AuditRecord{id, clock_.now_ns(), AuditKind::kCommit, ""}));
+        AuditRecord{id, vnow(), AuditKind::kCommit, ""}));
   }
   v_->undo.Discard(id);
-  v_->locks.ReleaseAll(id);
+  NoteGrants(v_->locks.ReleaseAll(id));
   txn->set_state(TxnState::kCommitted);
   v_->txns.NoteCommit();
   v_->txns.Finish(id);
 
   if (kind == TxnKind::kUser && !in_maintenance_) {
+    MMDB_RETURN_IF_ERROR(PostCommitMaintenance());
+  }
+  return Status::OK();
+}
+
+Status Database::PostCommitMaintenance() {
+  if (exec_ == nullptr) {
     if (opts_.auto_pump_recovery) {
       MMDB_RETURN_IF_ERROR(PumpRecovery());
     }
     if (opts_.auto_run_checkpoints) {
       MMDB_RETURN_IF_ERROR(RunCheckpoints());
     }
+    return Status::OK();
   }
-  return Status::OK();
+  // Checkpoint transactions are the main CPU's serial between-transaction
+  // duty (§2.4): the committing worker leaves its private timeline, joins
+  // the shared system clock, performs the maintenance there, and rejoins
+  // its lane at whatever time that took. With no pending work the clock
+  // does not move and the worker pays nothing.
+  ExecContext* ctx = std::exchange(exec_, nullptr);
+  clock_.AdvanceTo(ctx->cpu->busy_until_ns());
+  main_cpu_.IdleUntil(clock_.now_ns());
+  uint64_t c0 = clock_.now_ns();
+  Status st = Status::OK();
+  if (opts_.auto_pump_recovery) st = PumpRecovery();
+  if (st.ok() && opts_.auto_run_checkpoints) st = RunCheckpoints();
+  // Rejoin only when maintenance actually consumed time; otherwise the
+  // worker must not be dragged to a frontier another worker set.
+  if (clock_.now_ns() > c0) ctx->cpu->IdleUntil(clock_.now_ns());
+  exec_ = ctx;
+  return st;
 }
 
 Status Database::Abort(Transaction* txn) {
@@ -979,20 +1125,22 @@ Status Database::Abort(Transaction* txn) {
     }
     MainWork(opts_.apply_instructions_per_record);
   }
+  SlbAllocationGate();
   MMDB_RETURN_IF_ERROR(slb_->Discard(id));
-  v_->locks.ReleaseAll(id);
+  NoteGrants(v_->locks.ReleaseAll(id));
   TxnKind kind = txn->kind();
   if (kind == TxnKind::kUser) {
-    tracer_.Span(obs::Track::kMainCpu, "txn",
-                 "txn " + std::to_string(id) + " (abort)", txn->begin_ns(),
-                 clock_.now_ns() - txn->begin_ns());
+    obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
+                                        : obs::Track::kMainCpu;
+    tracer_.Span(track, "txn", "txn " + std::to_string(id) + " (abort)",
+                 txn->begin_ns(), vnow() - txn->begin_ns());
   }
   txn->set_state(TxnState::kAborted);
   v_->txns.NoteAbort();
   v_->txns.Finish(id);
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
-        AuditRecord{id, clock_.now_ns(), AuditKind::kAbort, ""}));
+        AuditRecord{id, vnow(), AuditKind::kAbort, ""}));
   }
   return Status::OK();
 }
@@ -1092,8 +1240,8 @@ Result<EntityAddr> Database::Insert(Transaction* txn,
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
   MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
-  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  MMDB_RETURN_IF_ERROR(
+      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kIX));
   auto bytes = rel.value()->schema.Encode(tuple);
   if (!bytes.ok()) return bytes.status();
   auto addr = InsertEntity(txn, rel.value()->segment, bytes.value());
@@ -1108,8 +1256,8 @@ Status Database::Update(Transaction* txn, const std::string& relation,
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
   MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
-  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  MMDB_RETURN_IF_ERROR(
+      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kIX));
   auto old_bytes = ReadEntity(txn, addr);
   if (!old_bytes.ok()) return old_bytes.status();
   auto old_tuple = rel.value()->schema.Decode(old_bytes.value());
@@ -1146,8 +1294,8 @@ Status Database::Delete(Transaction* txn, const std::string& relation,
                         const EntityAddr& addr) {
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
-  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIX));
+  MMDB_RETURN_IF_ERROR(
+      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kIX));
   auto old_bytes = ReadEntity(txn, addr);
   if (!old_bytes.ok()) return old_bytes.status();
   auto old_tuple = rel.value()->schema.Decode(old_bytes.value());
@@ -1160,8 +1308,8 @@ Result<Tuple> Database::Read(Transaction* txn, const std::string& relation,
                              const EntityAddr& addr) {
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
-  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kIS));
+  MMDB_RETURN_IF_ERROR(
+      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kIS));
   auto bytes = ReadEntity(txn, addr);
   if (!bytes.ok()) return bytes.status();
   return rel.value()->schema.Decode(bytes.value());
@@ -1175,10 +1323,8 @@ Result<std::vector<EntityAddr>> Database::IndexLookup(
   }
   auto idx = v_->catalog.GetIndex(index_name);
   if (!idx.ok()) return idx.status();
-  MMDB_RETURN_IF_ERROR(
-      v_->locks.Acquire(txn->id(),
-                        LockResource::Relation(idx.value()->relation_id),
-                        LockMode::kIS));
+  MMDB_RETURN_IF_ERROR(LockForTxn(
+      txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
   TxnEntityStore store(this, txn);
   if (idx.value()->type == IndexType::kTTree) {
     auto tree = GetTTree(index_name);
@@ -1201,10 +1347,8 @@ Result<std::vector<node::Entry>> Database::IndexRange(
   if (idx.value()->type != IndexType::kTTree) {
     return Status::NotSupported("range scans require a T-Tree index");
   }
-  MMDB_RETURN_IF_ERROR(
-      v_->locks.Acquire(txn->id(),
-                        LockResource::Relation(idx.value()->relation_id),
-                        LockMode::kIS));
+  MMDB_RETURN_IF_ERROR(LockForTxn(
+      txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
   TxnEntityStore store(this, txn);
   auto tree = GetTTree(index_name);
   if (!tree.ok()) return tree.status();
@@ -1215,8 +1359,8 @@ Result<std::vector<std::pair<EntityAddr, Tuple>>> Database::Scan(
     Transaction* txn, const std::string& relation) {
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
-  MMDB_RETURN_IF_ERROR(v_->locks.Acquire(
-      txn->id(), LockResource::Relation(rel.value()->id), LockMode::kS));
+  MMDB_RETURN_IF_ERROR(
+      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kS));
   std::vector<std::pair<EntityAddr, Tuple>> out;
   for (const PartitionDescriptor& d : rel.value()->partitions) {
     auto pr = ResidentPartition(d.id);

@@ -25,6 +25,7 @@
 #include "sim/clock.h"
 #include "sim/cpu.h"
 #include "sim/disk.h"
+#include "sim/scheduler.h"
 #include "sim/stable_memory.h"
 #include "storage/entity_store.h"
 #include "storage/partition_manager.h"
@@ -127,6 +128,13 @@ struct DatabaseOptions {
   /// Run pending checkpoint transactions between user transactions
   /// (paper §2.4 step 2).
   bool auto_run_checkpoints = true;
+  /// Simulated main-CPU transaction workers for the concurrent executor
+  /// (src/txn/executor.h): N in-flight user transactions interleave at
+  /// operation granularity on the virtual clock, contending on locks and
+  /// the SLB allocation gate. 1 models the legacy single-stream main CPU.
+  /// The Database itself stays single-threaded either way — workers are
+  /// cooperative timelines, never host threads.
+  uint32_t txn_workers = 1;
 
   /// Record Chrome trace_event spans (transactions, log flushes,
   /// checkpoints, crash/restart) on the virtual clock. Off by default:
@@ -293,6 +301,47 @@ class Database {
   void DisarmFaults() { fault_->Disarm(); }
   fault::FaultInjector& fault_injector() { return *fault_; }
 
+  // --- concurrent execution ---------------------------------------------------
+  /// Per-worker execution context, bound by the concurrent executor for
+  /// the duration of one dispatched transaction operation. While bound,
+  /// main-CPU work is charged to `cpu` (the worker's private timeline)
+  /// instead of advancing the global clock, and a user lock conflict
+  /// parks the transaction instead of failing: the operation unwinds
+  /// with Busy, `blocked` is set, and any deadlock victims chosen by the
+  /// wait-for-graph search are reported for the executor to abort.
+  struct ExecContext {
+    sim::CpuModel* cpu = nullptr;
+    uint32_t worker = 0;
+    // Out-params, reset at bind time:
+    bool blocked = false;               // txn parked on a wait queue
+    LockResource blocked_on{};          // what it is waiting for
+    std::vector<uint64_t> deadlock_victims;  // includes the txn itself
+                                             // when it lost the cycle
+  };
+  /// Binds (nullptr: unbinds) the executor's per-operation context.
+  void BindExecContext(ExecContext* ctx);
+  /// Current virtual time of the bound worker, or the global clock.
+  uint64_t vnow() const;
+
+  /// Statement-level rollback bracket for block-and-replay: the executor
+  /// marks before dispatching an operation; if the operation blocks on a
+  /// lock, RollbackOperation undoes its partial effects (UNDO records
+  /// past the mark are applied, the SLB chain is rewound, the REDO
+  /// counters restored) while the transaction — and its earlier
+  /// operations' locks and log — live on to replay the operation after
+  /// the lock is granted.
+  struct OpMark {
+    size_t undo_depth = 0;
+    StableLogBuffer::ChainMark slb;
+    Transaction::RedoMark redo;
+  };
+  OpMark MarkOperation(Transaction* txn) const;
+  Status RollbackOperation(Transaction* txn, const OpMark& mark);
+
+  /// Drains (txn id, grant-time ns) pairs for waiters granted at lock
+  /// release points since the last call, in grant order.
+  std::vector<std::pair<uint64_t, uint64_t>> TakePendingGrants();
+
   // --- introspection ----------------------------------------------------------
   uint64_t now_ns() const { return clock_.now_ns(); }
   /// True between Crash() and a successful Restart().
@@ -415,6 +464,26 @@ class Database {
   Result<LinearHash*> GetLinearHash(const std::string& name);
 
   void MainWork(double instructions);
+  /// Waits for virtual time `t_ns` (I/O completion): advances the global
+  /// clock in single-stream mode, or idles just the bound worker.
+  void WaitUntil(uint64_t t_ns);
+  /// Lock acquisition for a transaction's DML: user transactions under a
+  /// bound executor context go through the wait-queue policy (parking
+  /// the context on conflict); everything else keeps no-wait semantics.
+  Status LockForTxn(Transaction* txn, const LockResource& res, LockMode mode);
+  /// Records waiter grants produced at a lock-release point, stamped
+  /// with the releasing side's current virtual time.
+  void NoteGrants(std::vector<uint64_t> granted);
+  /// Models the SLB's block-allocation critical section (§2.3.1: "a
+  /// critical section is needed only for block allocation"): concurrent
+  /// workers queue on a shared gate and pay only the queueing delay, so
+  /// a single stream is timing-identical to the legacy path.
+  void SlbAllocationGate();
+  /// Runs sort-process pump + pending checkpoint transactions after a
+  /// user commit, on the shared system clock when a worker context is
+  /// bound (checkpointing is the main CPU's serial between-transactions
+  /// duty, §2.4).
+  Status PostCommitMaintenance();
 
   /// Commit-mode timing: models the log-force I/O a commit must wait for
   /// under kDiskForce / kGroupCommit (the paper's baselines).
@@ -461,6 +530,13 @@ class Database {
   bool crashed_ = false;
   bool in_maintenance_ = false;  // guards checkpoint/pump recursion
   RestartReport last_restart_;
+
+  /// Concurrent-executor state: the bound per-operation context (null in
+  /// single-stream mode), waiter grants awaiting pickup, and the SLB
+  /// block-allocation gate shared by all workers.
+  ExecContext* exec_ = nullptr;
+  std::vector<std::pair<uint64_t, uint64_t>> pending_grants_;
+  sim::DeviceTimeline slb_gate_{"slb.alloc_gate"};
 
   /// Background-sweep resume cursor: position in the catalog scan where
   /// the previous BackgroundRecoveryStep stopped, so a full sweep is

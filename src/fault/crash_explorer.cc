@@ -1,6 +1,9 @@
 #include "fault/crash_explorer.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "txn/executor.h"
 
 namespace mmdb::fault {
 
@@ -17,7 +20,7 @@ std::string PointLabel(Site site, uint64_t visit, uint64_t seed) {
 
 }  // namespace
 
-DatabaseOptions CrashExplorer::TrialOptions(bool trace) {
+DatabaseOptions CrashExplorer::TrialOptions() const {
   DatabaseOptions o;
   // Small partitions and log pages so the short scripted workload still
   // produces on-disk log chains, multiple checkpoint tracks, and a real
@@ -27,8 +30,14 @@ DatabaseOptions CrashExplorer::TrialOptions(bool trace) {
   o.n_update = 1ull << 30;  // checkpoints fire only where scripted
   o.recovery_parallelism = 2;
   o.restart_policy = RestartPolicy::kFullReload;
-  o.enable_tracing = trace;
+  o.enable_tracing = opts_.trace;
+  if (opts_.txn_workers > 1) o.txn_workers = opts_.txn_workers;
   return o;
+}
+
+Status CrashExplorer::RunWorkload(Database* db, Ledger* led) const {
+  return opts_.txn_workers > 1 ? RunConcurrentScript(db, led)
+                               : RunScript(db, led);
 }
 
 Status CrashExplorer::RunScript(Database* db, Ledger* led) {
@@ -116,6 +125,151 @@ Status CrashExplorer::RunScript(Database* db, Ledger* led) {
 
   // Phase C: scripted clean crash + full restart, so the sweep covers
   // crash-within-restart points even when no earlier fault fires.
+  db->Crash();
+  MMDB_RETURN_IF_ERROR(db->Restart());
+  bool done = false;
+  while (!done) {
+    MMDB_RETURN_IF_ERROR(db->BackgroundRecoveryStep(&done));
+  }
+  return Status::OK();
+}
+
+Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
+  Status st = db->CreateRelation("r", RowSchema());
+  if (!st.ok()) {
+    if (st.IsFault()) led->relation = Ledger::Ddl::kInDoubt;
+    return st;
+  }
+  led->relation = Ledger::Ddl::kCommitted;
+  st = db->CreateIndex("r_id", "r", "id", IndexType::kTTree);
+  if (!st.ok()) {
+    if (st.IsFault()) led->index = Ledger::Ddl::kInDoubt;
+    return st;
+  }
+  led->index = Ledger::Ddl::kCommitted;
+
+  // Setup: two shared hot rows that every script updates — the lock
+  // contention that exercises the wait queues while crashes land.
+  EntityAddr hot[2];
+  {
+    auto t = db->Begin();
+    if (!t.ok()) return t.status();
+    std::map<int64_t, int64_t> ups;
+    for (int64_t h = 0; h < 2; ++h) {
+      auto a = db->Insert(t.value(), "r", Tuple{1000 + h, int64_t{0}});
+      if (!a.ok()) return a.status();
+      hot[h] = a.value();
+      ups[1000 + h] = 0;
+    }
+    st = db->Commit(t.value());
+    if (!st.ok()) {
+      if (st.IsFault()) {
+        led->has_indoubt = true;
+        led->indoubt_upserts = ups;
+      }
+      return st;
+    }
+    for (const auto& [k, v] : ups) led->committed[k] = v;
+  }
+
+  // Each script's effect is state-independent (private keys derived from
+  // the script index, hot-row values derived from the script index), so
+  // commit order alone determines the expected rows.
+  const int kScripts = 12;
+  struct Effect {
+    std::map<int64_t, int64_t> ups;
+    std::vector<int64_t> dels;
+  };
+  std::vector<Effect> effects(kScripts);
+  for (int i = 0; i < kScripts; ++i) {
+    int64_t base = i * 4;
+    Effect& ef = effects[i];
+    ef.ups[base] = base * 10 + i;
+    ef.ups[base + 1] = (base + 1) * 10 + i;
+    ef.ups[base + 2] = (base + 2) * 10 + i;
+    ef.ups[1000 + (i % 2)] = 5000 + i;
+    if (i % 4 == 0) ef.dels.push_back(base);  // deletes its own insert
+  }
+
+  auto build = [&](ConcurrentExecutor* ex, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      int64_t base = i * 4;
+      TxnScript s;
+      s.label = "script-" + std::to_string(i);
+      auto insert_op = [i](int64_t key, std::shared_ptr<EntityAddr> out) {
+        return [i, key, out](Database& d, Transaction* t) -> Status {
+          auto a = d.Insert(t, "r", Tuple{key, key * 10 + i});
+          if (!a.ok()) return a.status();
+          if (out != nullptr) *out = a.value();
+          return Status::OK();
+        };
+      };
+      auto first_addr = std::make_shared<EntityAddr>();
+      s.ops.push_back(insert_op(base, first_addr));
+      s.ops.push_back(insert_op(base + 1, nullptr));
+      s.ops.push_back([i, addr = hot[i % 2]](Database& d,
+                                             Transaction* t) -> Status {
+        return d.Update(t, "r", addr,
+                        Tuple{int64_t{1000 + (i % 2)}, int64_t{5000 + i}});
+      });
+      s.ops.push_back(insert_op(base + 2, nullptr));
+      if (i % 4 == 0) {
+        s.ops.push_back([first_addr](Database& d, Transaction* t) -> Status {
+          return d.Delete(t, "r", *first_addr);
+        });
+      }
+      ex->Submit(std::move(s));
+    }
+  };
+
+  // Fold an executor run into the ledger: committed effects in commit
+  // order, then the at-most-one commit-faulted (in-doubt) script.
+  auto apply = [&](const ConcurrentExecutor& ex, int lo) {
+    std::map<uint64_t, int> by_txn;
+    const auto& rs = ex.results();
+    for (size_t s = 0; s < rs.size(); ++s) {
+      if (rs[s].outcome == ScriptOutcome::kCommitted) {
+        by_txn[rs[s].txn_id] = lo + static_cast<int>(s);
+      }
+    }
+    for (uint64_t id : ex.commit_order()) {
+      auto it = by_txn.find(id);
+      if (it == by_txn.end()) continue;
+      const Effect& ef = effects[it->second];
+      for (const auto& [k, v] : ef.ups) led->committed[k] = v;
+      for (int64_t k : ef.dels) led->committed.erase(k);
+    }
+    for (size_t s = 0; s < rs.size(); ++s) {
+      if (rs[s].commit_faulted) {
+        const Effect& ef = effects[lo + s];
+        led->has_indoubt = true;
+        led->indoubt_upserts = ef.ups;
+        led->indoubt_deletes = ef.dels;
+      }
+    }
+  };
+
+  // Two executor waves with a forced checkpoint between them, mirroring
+  // the serial script's mid-stream checkpoints.
+  const int kHalf = kScripts / 2;
+  {
+    ConcurrentExecutor ex(db);
+    build(&ex, 0, kHalf);
+    Status rst = ex.Run();
+    apply(ex, 0);
+    if (!rst.ok()) return rst;
+  }
+  MMDB_RETURN_IF_ERROR(db->ForceCheckpointRelation("r"));
+  {
+    ConcurrentExecutor ex(db);
+    build(&ex, kHalf, kScripts);
+    Status rst = ex.Run();
+    apply(ex, kHalf);
+    if (!rst.ok()) return rst;
+  }
+  MMDB_RETURN_IF_ERROR(db->CheckpointEverything());
+  led->workload_complete = true;
+
   db->Crash();
   MMDB_RETURN_IF_ERROR(db->Restart());
   bool done = false;
@@ -284,7 +438,7 @@ Status CrashExplorer::RunPointImpl(Site site, uint64_t visit,
                                    std::string* failure,
                                    uint64_t* crashes_delivered) {
   failure->clear();
-  Database db(TrialOptions(opts_.trace));
+  Database db(TrialOptions());
   FaultPlan plan;
   plan.seed = opts_.seed;
   plan.CrashAtVisit(site, visit);
@@ -292,7 +446,7 @@ Status CrashExplorer::RunPointImpl(Site site, uint64_t visit,
   uint64_t t0 = db.now_ns();
 
   Ledger led;
-  Status st = RunScript(&db, &led);
+  Status st = RunWorkload(&db, &led);
   if (!st.ok() && !st.IsFault() && !db.fault_injector().crash_pending()) {
     *failure = PointLabel(site, visit, opts_.seed) +
                ": script failed: " + st.ToString();
@@ -327,12 +481,12 @@ Status CrashExplorer::Run(ExplorerReport* report) {
   // Probe: an armed-but-empty plan counts per-site visits and yields the
   // no-crash oracle (rows + partition bytes after the scripted restart).
   {
-    Database db(TrialOptions(opts_.trace));
+    Database db(TrialOptions());
     FaultPlan probe;
     probe.seed = opts_.seed;
     db.ArmFaultPlan(probe);
     Ledger led;
-    MMDB_RETURN_IF_ERROR(RunScript(&db, &led));
+    MMDB_RETURN_IF_ERROR(RunWorkload(&db, &led));
     if (!led.workload_complete) {
       return Status::Corruption("probe run did not complete the workload");
     }

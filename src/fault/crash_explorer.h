@@ -29,6 +29,11 @@ struct ExplorerOptions {
   /// Record Perfetto spans for each crash-recover cycle in the trial
   /// databases.
   bool trace = false;
+  /// 0 or 1: the serial scripted workload. >= 2: a concurrent workload —
+  /// that many executor workers interleave contending transactions
+  /// (shared hot rows under the wait-queue lock policy), and the
+  /// expected-state ledger is derived from the executor's commit order.
+  uint32_t txn_workers = 0;
 };
 
 struct ExplorerReport {
@@ -93,9 +98,16 @@ class CrashExplorer {
 
   Status RunPointImpl(Site site, uint64_t visit, std::string* failure,
                       uint64_t* crashes_delivered);
-  static DatabaseOptions TrialOptions(bool trace);
+  DatabaseOptions TrialOptions() const;
+  /// Dispatches to the serial script or the concurrent workload.
+  Status RunWorkload(Database* db, Ledger* led) const;
   /// The scripted workload. Returns the first fault status (or OK).
   static Status RunScript(Database* db, Ledger* led);
+  /// The concurrent variant: contending transaction scripts run on
+  /// txn_workers executor lanes; the ledger is rebuilt from the commit
+  /// order (each script's effect is state-independent, so commit order
+  /// alone determines the expected rows).
+  Status RunConcurrentScript(Database* db, Ledger* led) const;
   /// Delivers a pending injected crash and restarts to full residency.
   static Status RecoverFully(Database* db, uint64_t* crashes);
   /// Byte images of every partition of "r" and its index.

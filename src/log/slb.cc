@@ -105,6 +105,38 @@ Status StableLogBuffer::Discard(uint64_t txn_id) {
   return Status::OK();
 }
 
+StableLogBuffer::ChainMark StableLogBuffer::Mark(uint64_t txn_id) const {
+  ChainMark m;
+  auto it = uncommitted_.find(txn_id);
+  if (it == uncommitted_.end()) return m;
+  m.records = it->second.records;
+  m.blocks = it->second.blocks.size();
+  m.last_used = m.blocks == 0 ? 0 : it->second.blocks.back().used;
+  return m;
+}
+
+void StableLogBuffer::Rewind(uint64_t txn_id, const ChainMark& mark) {
+  auto it = uncommitted_.find(txn_id);
+  if (it == uncommitted_.end()) {
+    MMDB_DCHECK(mark.blocks == 0);
+    return;
+  }
+  Chain& chain = it->second;
+  MMDB_CHECK(chain.blocks.size() >= mark.blocks);
+  while (chain.blocks.size() > mark.blocks) {
+    const Block& b = chain.blocks.back();
+    meter_->Release(b.buf.size());
+    NoteOccupancy(-static_cast<int64_t>(b.buf.size()));
+    chain.blocks.pop_back();
+  }
+  if (mark.blocks > 0) {
+    MMDB_CHECK(chain.blocks.back().used >= mark.last_used);
+    chain.blocks.back().used = mark.last_used;
+  }
+  chain.records = mark.records;
+  if (chain.blocks.empty()) uncommitted_.erase(it);
+}
+
 bool StableLogBuffer::HasCommittedRecords() const {
   for (const Chain& c : committed_) {
     if (c.records > 0) return true;

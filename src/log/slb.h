@@ -99,6 +99,23 @@ class StableLogBuffer {
   /// Discards the transaction's chain (abort).
   Status Discard(uint64_t txn_id);
 
+  /// Snapshot of a transaction's uncommitted chain, used by the
+  /// concurrent executor for statement-level rollback: a blocked
+  /// operation's partial appends are rewound while the transaction (and
+  /// its earlier operations' records) live on.
+  struct ChainMark {
+    uint64_t records = 0;
+    size_t blocks = 0;
+    uint32_t last_used = 0;
+  };
+  ChainMark Mark(uint64_t txn_id) const;
+
+  /// Rewinds `txn_id`'s uncommitted chain to `mark`: blocks allocated
+  /// past the mark are released back to the stable-memory budget and the
+  /// tail block's fill level is restored. Append counters stay monotonic
+  /// (they count work performed, not work retained).
+  void Rewind(uint64_t txn_id, const ChainMark& mark);
+
   // --- sort-side (recovery CPU) -------------------------------------------
 
   bool HasCommittedRecords() const;

@@ -19,8 +19,10 @@ std::string TrackName(Track t) {
     default: break;
   }
   uint32_t id = static_cast<uint32_t>(t);
-  uint32_t base = static_cast<uint32_t>(Track::kRecoveryLaneBase);
-  if (id >= base) return "recovery-lane-" + std::to_string(id - base);
+  uint32_t worker_base = static_cast<uint32_t>(Track::kTxnWorkerBase);
+  if (id >= worker_base) return "txn-worker-" + std::to_string(id - worker_base);
+  uint32_t lane_base = static_cast<uint32_t>(Track::kRecoveryLaneBase);
+  if (id >= lane_base) return "recovery-lane-" + std::to_string(id - lane_base);
   return "unknown";
 }
 

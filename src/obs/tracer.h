@@ -21,12 +21,21 @@ enum class Track : uint32_t {
   kSystem = 5,  // crash/restart lifecycle, recovery phases
   /// Recovery-lane swimlanes start here: lane i is kRecoveryLaneBase + i.
   kRecoveryLaneBase = 16,
+  /// Transaction-worker swimlanes start here: worker w is
+  /// kTxnWorkerBase + w (the concurrent executor's per-worker lanes).
+  kTxnWorkerBase = 32,
 };
 
 /// Per-recovery-lane track (rendered "recovery-lane-<i>" in Perfetto).
 inline Track LaneTrack(uint32_t lane) {
   return static_cast<Track>(
       static_cast<uint32_t>(Track::kRecoveryLaneBase) + lane);
+}
+
+/// Per-transaction-worker track (rendered "txn-worker-<w>" in Perfetto).
+inline Track WorkerTrack(uint32_t worker) {
+  return static_cast<Track>(static_cast<uint32_t>(Track::kTxnWorkerBase) +
+                            worker);
 }
 
 /// Virtual-clock tracer emitting Chrome `trace_event` JSON.

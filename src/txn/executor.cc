@@ -1,0 +1,287 @@
+#include "txn/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mmdb {
+
+ConcurrentExecutor::ConcurrentExecutor(Database* db, Options opts)
+    : db_(db), opts_(opts) {
+  uint32_t n = db->options().txn_workers;
+  if (n == 0) n = 1;
+  lanes_.resize(n);
+  for (uint32_t w = 0; w < n; ++w) {
+    lanes_[w].cpu = std::make_unique<sim::CpuModel>(
+        "txn-worker-" + std::to_string(w), db->options().main_cpu_mips);
+    // Workers start at the database's present: earlier single-stream work
+    // (population, checkpoints) is already on the global clock.
+    lanes_[w].cpu->IdleUntil(db->now_ns());
+  }
+  m_waits_ = db->metrics().counter("txn.waits", obs::Scope::kVolatile);
+  m_deadlocks_ =
+      db->metrics().counter("txn.deadlocks", obs::Scope::kVolatile);
+  m_worker_busy_ns_ =
+      db->metrics().histogram("txn.worker_busy_ns", obs::Scope::kVolatile);
+}
+
+void ConcurrentExecutor::Submit(TxnScript script) {
+  scripts_.push_back(std::move(script));
+  results_.emplace_back();
+}
+
+uint64_t ConcurrentExecutor::completion_ns() const {
+  uint64_t t = db_->now_ns();
+  for (const Lane& l : lanes_) t = std::max(t, l.cpu->busy_until_ns());
+  return t;
+}
+
+void ConcurrentExecutor::DrainGrants() {
+  for (const auto& [txn_id, grant_ns] : db_->TakePendingGrants()) {
+    UnblockTxn(txn_id, grant_ns);
+  }
+}
+
+void ConcurrentExecutor::UnblockTxn(uint64_t txn_id, uint64_t grant_ns) {
+  for (Lane& l : lanes_) {
+    if (l.blocked && l.txn != nullptr && l.txn->id() == txn_id) {
+      l.blocked = false;
+      // The worker slept from its park time until the grant.
+      l.cpu->IdleUntil(grant_ns);
+      return;
+    }
+  }
+}
+
+void ConcurrentExecutor::ResetForRetry(Lane* lane) {
+  lane->txn = nullptr;
+  lane->next_op = 0;
+  lane->blocked = false;
+}
+
+Status ConcurrentExecutor::AbortVictims(const std::vector<uint64_t>& victims,
+                                        uint64_t now_ns) {
+  for (uint64_t vid : victims) {
+    size_t li = lanes_.size();
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].txn != nullptr && lanes_[i].txn->id() == vid) {
+        li = i;
+        break;
+      }
+    }
+    // Victims are always parked waiters chosen from the wait-for graph;
+    // an unknown id would mean the lock manager and executor disagree
+    // about who is in flight.
+    if (li == lanes_.size()) {
+      return Status::Corruption("deadlock victim not found among workers");
+    }
+    Lane& lane = lanes_[li];
+    MMDB_DCHECK(lane.blocked);
+    // Removing the victim's queue entry can itself unblock waiters queued
+    // behind it.
+    for (uint64_t granted : db_->locks().CancelWait(vid)) {
+      UnblockTxn(granted, now_ns);
+    }
+    lane.blocked = false;
+    // The victim learns of its fate at the moment the requester detected
+    // the cycle. Its Abort releases locks; the resulting grants land in
+    // the database's pending list and are drained next scheduling round.
+    lane.cpu->IdleUntil(now_ns);
+    Database::ExecContext ctx;
+    ctx.cpu = lane.cpu.get();
+    ctx.worker = static_cast<uint32_t>(li);
+    db_->BindExecContext(&ctx);
+    Status st = db_->Abort(lane.txn);
+    db_->BindExecContext(nullptr);
+    MMDB_RETURN_IF_ERROR(st);
+    deadlocks_++;
+    m_deadlocks_->Add();
+    int si = lane.script;
+    ScriptResult& r = results_[si];
+    r.deadlock_retries++;
+    if (r.deadlock_retries > opts_.max_deadlock_retries) {
+      r.outcome = ScriptOutcome::kAborted;
+      r.error = Status::Busy("deadlock retry budget exhausted");
+      r.txn_id = vid;
+      lane.script = -1;
+      ResetForRetry(&lane);
+    } else {
+      // Retry from scratch on the same worker with a fresh transaction.
+      ResetForRetry(&lane);
+    }
+  }
+  return Status::OK();
+}
+
+Status ConcurrentExecutor::DispatchOne(size_t li) {
+  Lane& lane = lanes_[li];
+  TxnScript& script = scripts_[lane.script];
+  ScriptResult& result = results_[lane.script];
+
+  Database::ExecContext ctx;
+  ctx.cpu = lane.cpu.get();
+  ctx.worker = static_cast<uint32_t>(li);
+  db_->BindExecContext(&ctx);
+
+  if (lane.txn == nullptr) {
+    auto begun = db_->Begin(TxnKind::kUser, script.label);
+    if (!begun.ok()) {
+      db_->BindExecContext(nullptr);
+      return begun.status();
+    }
+    lane.txn = begun.value();
+    result.txn_id = lane.txn->id();
+    result.worker = static_cast<uint32_t>(li);
+  }
+
+  if (lane.next_op < script.ops.size()) {
+    Database::OpMark mark = db_->MarkOperation(lane.txn);
+    Status st = script.ops[lane.next_op](*db_, lane.txn);
+    if (ctx.blocked) {
+      // Block-and-replay: undo the operation's partial effects and park.
+      // The whole op closure replays after the grant.
+      Status rb = db_->RollbackOperation(lane.txn, mark);
+      db_->BindExecContext(nullptr);
+      MMDB_RETURN_IF_ERROR(rb);
+      lane.blocked = true;
+      waits_++;
+      m_waits_->Add();
+      if (db_->tracer().enabled()) {
+        db_->tracer().Instant(obs::WorkerTrack(static_cast<uint32_t>(li)),
+                              "lock", "wait:" + script.label,
+                              lane.cpu->busy_until_ns());
+      }
+      if (!ctx.deadlock_victims.empty()) {
+        // The requester's enqueue closed one or more cycles; every victim
+        // is someone else (a self-victim comes back as kDeadlockSelf /
+        // not blocked).
+        return AbortVictims(ctx.deadlock_victims, lane.cpu->busy_until_ns());
+      }
+      return Status::OK();
+    }
+    if (!st.ok() && !ctx.deadlock_victims.empty() &&
+        ctx.deadlock_victims.front() == lane.txn->id()) {
+      // kDeadlockSelf: this transaction is the youngest on a cycle its
+      // own request closed. Abort it (full undo covers the partial op —
+      // no statement rollback needed first) and retry from scratch.
+      uint64_t now_ns = lane.cpu->busy_until_ns();
+      Status ab = db_->Abort(lane.txn);
+      db_->BindExecContext(nullptr);
+      MMDB_RETURN_IF_ERROR(ab);
+      deadlocks_++;
+      m_deadlocks_->Add();
+      result.deadlock_retries++;
+      if (result.deadlock_retries > opts_.max_deadlock_retries) {
+        result.outcome = ScriptOutcome::kAborted;
+        result.error = Status::Busy("deadlock retry budget exhausted");
+        lane.script = -1;
+      }
+      ResetForRetry(&lane);
+      // Other cycles closed by the same request may have appointed
+      // additional (parked) victims.
+      if (ctx.deadlock_victims.size() > 1) {
+        std::vector<uint64_t> others(ctx.deadlock_victims.begin() + 1,
+                                     ctx.deadlock_victims.end());
+        return AbortVictims(others, now_ns);
+      }
+      return Status::OK();
+    }
+    db_->BindExecContext(nullptr);
+    if (st.IsFault()) {
+      // Injected crash: stop dead, leaving the transaction in flight as
+      // the crash would find it. No abort — volatile state is gone.
+      result.error = st;
+      return st;
+    }
+    if (!st.ok()) {
+      // Ordinary script failure: abort, record, move on.
+      Database::ExecContext actx;
+      actx.cpu = lane.cpu.get();
+      actx.worker = static_cast<uint32_t>(li);
+      db_->BindExecContext(&actx);
+      Status ab = db_->Abort(lane.txn);
+      db_->BindExecContext(nullptr);
+      if (ab.IsFault()) return ab;
+      MMDB_RETURN_IF_ERROR(ab);
+      result.outcome = ScriptOutcome::kAborted;
+      result.error = st;
+      lane.script = -1;
+      ResetForRetry(&lane);
+      return Status::OK();
+    }
+    lane.next_op++;
+    return Status::OK();
+  }
+
+  // All ops done: commit.
+  uint64_t txn_id = lane.txn->id();
+  Status st = db_->Commit(lane.txn);
+  db_->BindExecContext(nullptr);
+  if (st.IsFault()) {
+    result.commit_faulted = true;
+    result.error = st;
+    return st;
+  }
+  MMDB_RETURN_IF_ERROR(st);
+  result.outcome = ScriptOutcome::kCommitted;
+  result.commit_ns = lane.cpu->busy_until_ns();
+  commit_order_.push_back(txn_id);
+  lane.script = -1;
+  ResetForRetry(&lane);
+  return Status::OK();
+}
+
+Status ConcurrentExecutor::Run() {
+  for (;;) {
+    DrainGrants();
+
+    // Admit pending scripts to free workers, submission order, lowest
+    // worker index first.
+    for (Lane& l : lanes_) {
+      if (l.script != -1) continue;
+      if (admit_cursor_ >= scripts_.size()) break;
+      l.script = static_cast<int>(admit_cursor_++);
+      l.txn = nullptr;
+      l.next_op = 0;
+      l.blocked = false;
+    }
+
+    // Pick the runnable worker with the earliest (busy-until, index).
+    size_t pick = lanes_.size();
+    uint64_t pick_ns = 0;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      const Lane& l = lanes_[i];
+      if (l.script == -1 || l.blocked) continue;
+      uint64_t t = l.cpu->busy_until_ns();
+      if (pick == lanes_.size() || t < pick_ns) {
+        pick = i;
+        pick_ns = t;
+      }
+    }
+
+    if (pick == lanes_.size()) {
+      bool any_blocked = false;
+      for (const Lane& l : lanes_) any_blocked |= (l.script != -1 && l.blocked);
+      if (any_blocked) {
+        // Every in-flight transaction is parked and nothing can release a
+        // lock: the schedule is wedged. Deadlock detection should make
+        // this unreachable.
+        return Status::Corruption("executor wedged: all workers blocked");
+      }
+      break;  // all scripts complete
+    }
+
+    MMDB_RETURN_IF_ERROR(DispatchOne(pick));
+  }
+
+  for (const Lane& l : lanes_) {
+    // Busy = work actually charged to the worker (instructions at this
+    // CPU's rate), excluding idle gaps spent parked or waiting on I/O.
+    m_worker_busy_ns_->Record(l.cpu->total_instructions() *
+                              l.cpu->ns_per_instruction());
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,135 @@
+#ifndef MMDB_TXN_EXECUTOR_H_
+#define MMDB_TXN_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "sim/cpu.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+/// One transaction operation: runs against the database inside the
+/// transaction. An operation must be **replayable** — if it returns Busy
+/// because a lock parked the transaction, its partial effects are rolled
+/// back (statement-level) and the whole closure runs again after the
+/// grant, so it must not carry side effects outside the database other
+/// than idempotent writes to captured state.
+using TxnOp = std::function<Status(Database&, Transaction*)>;
+
+/// A scripted transaction: Begin + ops in order + Commit, retried from
+/// scratch (fresh transaction id) when it loses a deadlock.
+struct TxnScript {
+  std::string label;
+  std::vector<TxnOp> ops;
+};
+
+enum class ScriptOutcome : uint8_t { kPending = 0, kCommitted = 1, kAborted = 2 };
+
+struct ScriptResult {
+  ScriptOutcome outcome = ScriptOutcome::kPending;
+  /// Transaction id of the final attempt (0 before the script started).
+  uint64_t txn_id = 0;
+  uint64_t commit_ns = 0;
+  uint32_t worker = 0;
+  uint32_t deadlock_retries = 0;
+  /// The script's Commit returned the injected-crash fault: the classic
+  /// in-doubt transaction (durable iff its SLB commit beat the crash).
+  bool commit_faulted = false;
+  /// Non-deadlock failure that aborted the script (OK otherwise).
+  Status error = Status::OK();
+};
+
+/// Concurrent transaction executor: N simulated main-CPU workers
+/// (DatabaseOptions::txn_workers) interleaving scripted transactions at
+/// operation granularity on the virtual clock.
+///
+/// Scheduling is discrete-event and fully deterministic: each worker is
+/// a private sim::CpuModel timeline, and every round the runnable worker
+/// with the smallest (busy-until, worker index) dispatches its next
+/// operation. An operation that blocks on a lock is rolled back to its
+/// operation mark (block-and-replay) and the worker parks until the
+/// holder's release grants the lock, at which point the worker's
+/// timeline jumps to the grant instant and the operation replays.
+/// Deadlock victims chosen by the lock manager's wait-for-graph search
+/// are aborted through the ordinary undo path and their scripts retried
+/// with a fresh transaction id.
+///
+/// No host threads anywhere: same seed + same worker count -> identical
+/// commit order, metrics, and trace, which is what the serializability/
+/// determinism test layer asserts.
+class ConcurrentExecutor {
+ public:
+  struct Options {
+    /// A script that loses this many deadlocks is abandoned (kAborted).
+    uint32_t max_deadlock_retries = 32;
+  };
+
+  explicit ConcurrentExecutor(Database* db) : ConcurrentExecutor(db, {}) {}
+  ConcurrentExecutor(Database* db, Options opts);
+
+  /// Enqueues a script. Scripts are admitted to workers in submission
+  /// order as workers free up.
+  void Submit(TxnScript script);
+
+  /// Runs every submitted script to completion (committed or abandoned).
+  /// Returns early with the failure on infrastructure errors and on
+  /// injected faults (fault::Barrier crash latching) — in the fault case
+  /// in-flight transactions are left as the crash would find them.
+  Status Run();
+
+  /// Committed transaction ids, in commit order.
+  const std::vector<uint64_t>& commit_order() const { return commit_order_; }
+  /// Per-script results, in submission order.
+  const std::vector<ScriptResult>& results() const { return results_; }
+
+  uint32_t workers() const { return static_cast<uint32_t>(lanes_.size()); }
+  const sim::CpuModel& worker_cpu(uint32_t w) const { return *lanes_[w].cpu; }
+  /// Virtual completion time: max worker busy-until across the run.
+  uint64_t completion_ns() const;
+
+  uint64_t waits() const { return waits_; }
+  uint64_t deadlocks() const { return deadlocks_; }
+
+ private:
+  struct Lane {
+    std::unique_ptr<sim::CpuModel> cpu;
+    int script = -1;  // index into scripts_, -1 = free
+    Transaction* txn = nullptr;
+    size_t next_op = 0;
+    bool blocked = false;
+  };
+
+  /// Applies pending lock grants: unparks the granted transactions'
+  /// workers at the grant instant.
+  void DrainGrants();
+  void UnblockTxn(uint64_t txn_id, uint64_t grant_ns);
+  /// Dispatches one step (Begin+op, op, or Commit) of lane `li`'s script.
+  Status DispatchOne(size_t li);
+  /// Aborts parked deadlock victims at `now_ns` and resets their scripts
+  /// for retry (or abandons them past the retry budget).
+  Status AbortVictims(const std::vector<uint64_t>& victims, uint64_t now_ns);
+  /// Resets lane state so the script retries from scratch.
+  void ResetForRetry(Lane* lane);
+
+  Database* db_;
+  Options opts_;
+  std::vector<Lane> lanes_;
+  std::vector<TxnScript> scripts_;
+  std::vector<ScriptResult> results_;
+  size_t admit_cursor_ = 0;
+  std::vector<uint64_t> commit_order_;
+  uint64_t waits_ = 0;
+  uint64_t deadlocks_ = 0;
+  obs::Counter* m_waits_ = nullptr;
+  obs::Counter* m_deadlocks_ = nullptr;
+  obs::Histogram* m_worker_busy_ns_ = nullptr;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_EXECUTOR_H_

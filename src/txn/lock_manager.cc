@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace mmdb {
 
 bool LockManager::Compatible(LockMode a, LockMode b) {
@@ -33,53 +35,222 @@ bool LockManager::Covers(LockMode held, LockMode want) {
   return false;
 }
 
-Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
-                            LockMode mode) {
-  std::vector<Holder>& holders = table_[res];
-  Holder* mine = nullptr;
-  for (Holder& h : holders) {
-    if (h.txn_id == txn_id) {
-      mine = &h;
-      break;
-    }
-  }
-  if (mine != nullptr && Covers(mine->mode, mode)) {
-    return Status::OK();
-  }
+bool LockManager::CanGrant(uint64_t txn_id, const LockResource& res,
+                           LockMode mode, LockMode* effective) const {
   // The mode to hold after the request: the join of old and new (S + IX
   // has no SIX mode here, so it escalates to X — conservative but safe).
-  LockMode effective = mode;
+  *effective = mode;
+  const std::vector<Holder>* holders = nullptr;
+  auto t = table_.find(res);
+  if (t != table_.end()) holders = &t->second;
+  const Holder* mine = nullptr;
+  if (holders != nullptr) {
+    for (const Holder& h : *holders) {
+      if (h.txn_id == txn_id) {
+        mine = &h;
+        break;
+      }
+    }
+  }
   if (mine != nullptr) {
     bool s_ix_mix = (mine->mode == LockMode::kS && mode == LockMode::kIX) ||
                     (mine->mode == LockMode::kIX && mode == LockMode::kS);
     if (s_ix_mix) {
-      effective = LockMode::kX;
+      *effective = LockMode::kX;
     } else if (Covers(mine->mode, mode)) {
-      effective = mine->mode;
+      *effective = mine->mode;
     }
   }
-  for (const Holder& h : holders) {
-    if (h.txn_id != txn_id && !Compatible(effective, h.mode)) {
-      ++conflicts_;
-      if (m_conflicts_ != nullptr) m_conflicts_->Add(1);
-      return Status::Busy("lock conflict");
-    }
+  if (holders == nullptr) return true;
+  for (const Holder& h : *holders) {
+    if (h.txn_id != txn_id && !Compatible(*effective, h.mode)) return false;
   }
+  return true;
+}
+
+void LockManager::Grant(uint64_t txn_id, const LockResource& res,
+                        LockMode effective) {
   ++acquisitions_;
   if (m_acquisitions_ != nullptr) m_acquisitions_->Add(1);
-  if (mine != nullptr) {
-    mine->mode = effective;
-    return Status::OK();
+  if (history_on_) {
+    history_.push_back(LockEvent{++history_seq_, txn_id, res, effective});
   }
-  holders.push_back(Holder{txn_id, mode});
+  std::vector<Holder>& holders = table_[res];
+  for (Holder& h : holders) {
+    if (h.txn_id == txn_id) {
+      h.mode = effective;
+      return;
+    }
+  }
+  holders.push_back(Holder{txn_id, effective});
   by_txn_[txn_id].push_back(res);
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
+                            LockMode mode) {
+  if (Holds(txn_id, res, mode)) return Status::OK();
+  LockMode effective;
+  if (!CanGrant(txn_id, res, mode, &effective)) {
+    ++conflicts_;
+    if (m_conflicts_ != nullptr) m_conflicts_->Add(1);
+    return Status::Busy("lock conflict");
+  }
+  // No-wait requests (system/checkpoint/recovery) may barge past the
+  // user wait queue: they hold locks briefly and already handle Busy, so
+  // making them queue would only invert priorities.
+  Grant(txn_id, res, effective);
   return Status::OK();
 }
 
-void LockManager::ReleaseAll(uint64_t txn_id) {
+LockManager::LockRequestResult LockManager::AcquireOrWait(
+    uint64_t txn_id, const LockResource& res, LockMode mode) {
+  LockRequestResult r;
+  if (Holds(txn_id, res, mode)) return r;  // kGranted, no new event
+  LockMode effective;
+  bool upgrade = false;
+  auto t = table_.find(res);
+  if (t != table_.end()) {
+    for (const Holder& h : t->second) {
+      if (h.txn_id == txn_id) {
+        upgrade = true;
+        break;
+      }
+    }
+  }
+  auto q = queues_.find(res);
+  bool queue_empty = q == queues_.end() || q->second.empty();
+  // Strict FIFO: a fresh request may not barge past existing waiters
+  // even when compatible with the holders. Upgrades are exempt — the
+  // requester is already a holder, so every queued waiter is by
+  // definition behind its held lock already.
+  if ((queue_empty || upgrade) && CanGrant(txn_id, res, mode, &effective)) {
+    Grant(txn_id, res, effective);
+    return r;
+  }
+  queues_[res].push_back(Waiter{txn_id, mode});
+  waiting_[txn_id] = WaitInfo{res, mode};
+  CollectVictims(txn_id, &r.victims);
+  if (!r.victims.empty()) {
+    deadlocks_ += r.victims.size();
+    if (m_deadlocks_ != nullptr) m_deadlocks_->Add(r.victims.size());
+  }
+  bool self_victim = std::find(r.victims.begin(), r.victims.end(), txn_id) !=
+                     r.victims.end();
+  if (self_victim) {
+    // The requester is the youngest on one of the cycles it would close.
+    // Cycles found before that one may already have appointed other
+    // (parked) victims — keep them: the caller aborts the whole set. The
+    // requester goes first so callers can recognize the self case.
+    std::iter_swap(r.victims.begin(),
+                   std::find(r.victims.begin(), r.victims.end(), txn_id));
+    auto& dq = queues_[res];
+    dq.erase(std::remove_if(dq.begin(), dq.end(),
+                            [&](const Waiter& w) { return w.txn_id == txn_id; }),
+             dq.end());
+    if (dq.empty()) queues_.erase(res);
+    waiting_.erase(txn_id);
+    r.outcome = LockOutcome::kDeadlockSelf;
+    return r;
+  }
+  ++waits_;
+  if (m_waits_ != nullptr) m_waits_->Add(1);
+  r.outcome = LockOutcome::kWaiting;
+  return r;
+}
+
+void LockManager::CollectVictims(uint64_t start,
+                                 std::vector<uint64_t>* victims) const {
+  // Before this request the graph was acyclic (every prior cycle was
+  // broken by a victim), so any cycle goes through `start`'s new edges.
+  // DFS from `start`; a path that reaches `start` again is a cycle, its
+  // youngest member (largest txn id) the victim. Repeat with victims
+  // treated as removed until no cycle through `start` remains.
+  auto edges = [&](uint64_t u, std::vector<uint64_t>* out) {
+    out->clear();
+    auto w = waiting_.find(u);
+    if (w == waiting_.end()) return;  // not waiting: sink
+    auto q = queues_.find(w->second.res);
+    if (q != queues_.end()) {
+      // Strict FIFO: u waits for every earlier waiter in its queue.
+      for (const Waiter& e : q->second) {
+        if (e.txn_id == u) break;
+        out->push_back(e.txn_id);
+      }
+    }
+    auto t = table_.find(w->second.res);
+    if (t != table_.end()) {
+      for (const Holder& h : t->second) {
+        if (h.txn_id != u && !Compatible(w->second.mode, h.mode)) {
+          out->push_back(h.txn_id);
+        }
+      }
+    }
+  };
+  auto excluded = [&](uint64_t u) {
+    return std::find(victims->begin(), victims->end(), u) != victims->end();
+  };
+  for (;;) {
+    if (excluded(start)) return;
+    // Iterative DFS with an explicit path so the cycle members are at
+    // hand when we close one.
+    std::vector<uint64_t> path{start};
+    std::vector<std::vector<uint64_t>> succ(1);
+    edges(start, &succ.back());
+    std::vector<uint64_t> visited;  // fully-explored nodes this round
+    bool found = false;
+    while (!path.empty() && !found) {
+      if (succ.back().empty()) {
+        visited.push_back(path.back());
+        path.pop_back();
+        succ.pop_back();
+        continue;
+      }
+      uint64_t next = succ.back().front();
+      succ.back().erase(succ.back().begin());
+      if (next == start) {
+        // Cycle: everything currently on the path.
+        uint64_t victim = *std::max_element(path.begin(), path.end());
+        victims->push_back(victim);
+        found = true;
+        break;
+      }
+      if (excluded(next) ||
+          std::find(path.begin(), path.end(), next) != path.end() ||
+          std::find(visited.begin(), visited.end(), next) != visited.end()) {
+        continue;
+      }
+      path.push_back(next);
+      succ.emplace_back();
+      edges(next, &succ.back());
+    }
+    if (!found) return;
+  }
+}
+
+void LockManager::GrantPass(const LockResource& res,
+                            std::vector<uint64_t>* granted) {
+  auto q = queues_.find(res);
+  if (q == queues_.end()) return;
+  std::deque<Waiter>& dq = q->second;
+  while (!dq.empty()) {
+    LockMode effective;
+    if (!CanGrant(dq.front().txn_id, res, dq.front().mode, &effective)) break;
+    uint64_t id = dq.front().txn_id;
+    Grant(id, res, effective);
+    waiting_.erase(id);
+    dq.pop_front();
+    granted->push_back(id);
+  }
+  if (dq.empty()) queues_.erase(res);
+}
+
+std::vector<uint64_t> LockManager::ReleaseAll(uint64_t txn_id) {
+  std::vector<uint64_t> granted = CancelWait(txn_id);
   auto it = by_txn_.find(txn_id);
-  if (it == by_txn_.end()) return;
-  for (const LockResource& res : it->second) {
+  if (it == by_txn_.end()) return granted;
+  std::vector<LockResource> resources = std::move(it->second);
+  by_txn_.erase(it);
+  for (const LockResource& res : resources) {
     auto t = table_.find(res);
     if (t == table_.end()) continue;
     auto& holders = t->second;
@@ -89,8 +260,27 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
                                  }),
                   holders.end());
     if (holders.empty()) table_.erase(t);
+    GrantPass(res, &granted);
   }
-  by_txn_.erase(it);
+  return granted;
+}
+
+std::vector<uint64_t> LockManager::CancelWait(uint64_t txn_id) {
+  std::vector<uint64_t> granted;
+  auto w = waiting_.find(txn_id);
+  if (w == waiting_.end()) return granted;
+  LockResource res = w->second.res;
+  waiting_.erase(w);
+  auto q = queues_.find(res);
+  if (q != queues_.end()) {
+    auto& dq = q->second;
+    dq.erase(std::remove_if(dq.begin(), dq.end(),
+                            [&](const Waiter& e) { return e.txn_id == txn_id; }),
+             dq.end());
+    if (dq.empty()) queues_.erase(res);
+  }
+  GrantPass(res, &granted);
+  return granted;
 }
 
 bool LockManager::Holds(uint64_t txn_id, const LockResource& res,

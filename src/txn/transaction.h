@@ -52,6 +52,19 @@ class Transaction {
     redo_bytes_ += bytes;
   }
 
+  /// REDO counter snapshot for statement-level rollback: the concurrent
+  /// executor marks an operation, and if it blocks mid-way restores the
+  /// counters along with the SLB chain and UNDO stack.
+  struct RedoMark {
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+  };
+  RedoMark redo_mark() const { return RedoMark{redo_records_, redo_bytes_}; }
+  void RestoreRedo(const RedoMark& m) {
+    redo_records_ = m.records;
+    redo_bytes_ = m.bytes;
+  }
+
   /// Virtual time when the transaction began (set by Database::Begin);
   /// used for per-transaction trace spans and latency histograms.
   uint64_t begin_ns() const { return begin_ns_; }

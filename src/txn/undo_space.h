@@ -35,6 +35,15 @@ class UndoSpace {
   /// Takes the transaction's UNDO records, most recent first (abort).
   std::vector<LogRecord> TakeReversed(uint64_t txn_id);
 
+  /// Chain length for `txn_id` — a statement-rollback mark.
+  size_t Depth(uint64_t txn_id) const;
+
+  /// Takes the records pushed after `depth`, most recent first, leaving
+  /// the first `depth` in place (statement-level rollback: the concurrent
+  /// executor unwinds a blocked operation's partial effects while the
+  /// transaction itself lives on to replay it).
+  std::vector<LogRecord> TakeReversedFrom(uint64_t txn_id, size_t depth);
+
   /// Drops the transaction's UNDO records (commit).
   void Discard(uint64_t txn_id);
 

@@ -1,0 +1,120 @@
+#ifndef MMDB_TESTS_CONCURRENCY_WORKLOAD_H_
+#define MMDB_TESTS_CONCURRENCY_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "txn/executor.h"
+#include "util/random.h"
+
+namespace mmdb::testing {
+
+/// A seeded random mixed workload over a pre-populated table, shared by
+/// the serializability and determinism tests. Every operation's effect is
+/// state-independent (values derive from script/op indices only), so the
+/// committed logical content is fully determined by which scripts
+/// committed and in what order — replayable serially as an oracle.
+struct ConcurrencyWorkload {
+  static constexpr int64_t kRows = 48;
+  static constexpr int kScripts = 10;
+  static constexpr int kOpsPerScript = 4;
+
+  std::unique_ptr<Database> db;
+  std::map<int64_t, EntityAddr> addrs;
+
+  static Schema RowSchema() {
+    return Schema({{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}});
+  }
+
+  /// Builds the database and populates kRows rows (id, id * 100).
+  Status Setup(uint32_t workers, bool trace = false) {
+    DatabaseOptions o;
+    o.txn_workers = workers;
+    o.enable_tracing = trace;
+    db = std::make_unique<Database>(o);
+    MMDB_RETURN_IF_ERROR(db->CreateRelation("r", RowSchema()));
+    auto t = db->Begin();
+    MMDB_RETURN_IF_ERROR(t.status());
+    for (int64_t k = 0; k < kRows; ++k) {
+      auto a = db->Insert(t.value(), "r", Tuple{k, k * 100});
+      MMDB_RETURN_IF_ERROR(a.status());
+      addrs[k] = a.value();
+    }
+    return db->Commit(t.value());
+  }
+
+  /// Generates the seeded script mix: hot-row updates (contention),
+  /// uniform updates, reads, and per-script unique inserts.
+  std::vector<TxnScript> MakeScripts(uint64_t seed) const {
+    Random rng(seed);
+    std::vector<TxnScript> scripts;
+    for (int s = 0; s < kScripts; ++s) {
+      TxnScript ts;
+      ts.label = "w" + std::to_string(s);
+      for (int j = 0; j < kOpsPerScript; ++j) {
+        uint64_t kind = rng.Uniform(4);
+        int64_t value = int64_t{1000} * (s + 1) + j;
+        if (kind == 0) {
+          // Hot rows 0..7: the contention driving waits and deadlocks.
+          int64_t row = static_cast<int64_t>(rng.Uniform(8));
+          ts.ops.push_back(MakeUpdate(row, value));
+        } else if (kind == 1) {
+          int64_t row = static_cast<int64_t>(rng.Uniform(kRows));
+          ts.ops.push_back(MakeUpdate(row, value));
+        } else if (kind == 2) {
+          int64_t row = static_cast<int64_t>(rng.Uniform(kRows));
+          ts.ops.push_back(MakeRead(row));
+        } else {
+          int64_t key = 1000 + s * kOpsPerScript + j;  // unique per op
+          ts.ops.push_back(MakeInsert(key, value));
+        }
+      }
+      scripts.push_back(std::move(ts));
+    }
+    return scripts;
+  }
+
+  TxnOp MakeUpdate(int64_t row, int64_t value) const {
+    EntityAddr addr = addrs.at(row);
+    return [addr, row, value](Database& d, Transaction* t) -> Status {
+      return d.Update(t, "r", addr, Tuple{row, value});
+    };
+  }
+
+  TxnOp MakeRead(int64_t row) const {
+    EntityAddr addr = addrs.at(row);
+    return [addr](Database& d, Transaction* t) -> Status {
+      return d.Read(t, "r", addr).status();
+    };
+  }
+
+  TxnOp MakeInsert(int64_t key, int64_t value) const {
+    return [key, value](Database& d, Transaction* t) -> Status {
+      return d.Insert(t, "r", Tuple{key, value}).status();
+    };
+  }
+
+  /// Logical table content: sorted id -> v. Physical slot layout diverges
+  /// under interleaving, so comparisons use this canonical form.
+  Result<std::map<int64_t, int64_t>> LogicalRows() {
+    auto t = db->Begin();
+    MMDB_RETURN_IF_ERROR(t.status());
+    auto sc = db->Scan(t.value(), "r");
+    MMDB_RETURN_IF_ERROR(sc.status());
+    std::map<int64_t, int64_t> rows;
+    for (const auto& [addr, tup] : sc.value()) {
+      (void)addr;
+      rows[std::get<int64_t>(tup[0])] = std::get<int64_t>(tup[1]);
+    }
+    MMDB_RETURN_IF_ERROR(db->Commit(t.value()));
+    return rows;
+  }
+};
+
+}  // namespace mmdb::testing
+
+#endif  // MMDB_TESTS_CONCURRENCY_WORKLOAD_H_

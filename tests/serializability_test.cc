@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "concurrency_workload.h"
+#include "core/database.h"
+#include "test_util.h"
+#include "txn/executor.h"
+#include "txn/lock_manager.h"
+
+namespace mmdb {
+namespace {
+
+using testing::ConcurrencyWorkload;
+
+uint32_t WorkersFromEnv(uint32_t fallback) {
+  const char* s = std::getenv("MMDB_TXN_WORKERS");
+  if (s == nullptr) return fallback;
+  int v = std::atoi(s);
+  return v >= 1 ? static_cast<uint32_t>(v) : fallback;
+}
+
+/// Runs the seeded workload at `workers` and checks the two
+/// serializability oracles:
+///
+///  1. Conflict-order consistency: for every pair of committed
+///     transactions that acquired incompatible locks on the same
+///     resource, the grant order agrees with the commit order. Under
+///     strict two-phase locking this makes the conflict graph acyclic by
+///     construction — an edge ti -> tj always points forward in commit
+///     order — so any violation is a 2PL bug.
+///
+///  2. Final-state equivalence: the logical table content equals a
+///     serial replay of the committed scripts, in commit order, on a
+///     single-worker database.
+void CheckSerializable(uint64_t seed, uint32_t workers) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " workers=" + std::to_string(workers));
+
+  ConcurrencyWorkload w;
+  ASSERT_OK(w.Setup(workers));
+  w.db->locks().EnableHistory();
+
+  ConcurrentExecutor ex(w.db.get());
+  for (TxnScript& s : w.MakeScripts(seed)) ex.Submit(std::move(s));
+  ASSERT_OK(ex.Run());
+
+  // Committed transactions and their commit-order positions.
+  std::map<uint64_t, size_t> commit_pos;
+  for (size_t i = 0; i < ex.commit_order().size(); ++i) {
+    commit_pos[ex.commit_order()[i]] = i;
+  }
+  std::map<uint64_t, int> committed_script;
+  for (size_t s = 0; s < ex.results().size(); ++s) {
+    const ScriptResult& r = ex.results()[s];
+    if (r.outcome == ScriptOutcome::kCommitted) {
+      ASSERT_TRUE(commit_pos.count(r.txn_id));
+      committed_script[r.txn_id] = static_cast<int>(s);
+    }
+  }
+
+  // Oracle 1: conflict edges agree with commit order.
+  const std::vector<LockEvent>& hist = w.db->locks().history();
+  for (size_t i = 0; i < hist.size(); ++i) {
+    for (size_t j = i + 1; j < hist.size(); ++j) {
+      const LockEvent& a = hist[i];
+      const LockEvent& b = hist[j];
+      if (a.txn_id == b.txn_id) continue;
+      if (!(a.res == b.res)) continue;
+      if (LockManager::Compatible(a.mode, b.mode)) continue;
+      auto pa = commit_pos.find(a.txn_id);
+      auto pb = commit_pos.find(b.txn_id);
+      if (pa == commit_pos.end() || pb == commit_pos.end()) continue;
+      EXPECT_LT(pa->second, pb->second)
+          << "conflict edge " << a.txn_id << " -> " << b.txn_id
+          << " contradicts commit order (cycle in the conflict graph)";
+    }
+  }
+
+  // Oracle 2: serial replay of the committed scripts, in commit order,
+  // on a fresh single-worker database.
+  ConcurrencyWorkload serial;
+  ASSERT_OK(serial.Setup(1));
+  std::vector<TxnScript> scripts = serial.MakeScripts(seed);
+  for (uint64_t txn_id : ex.commit_order()) {
+    auto it = committed_script.find(txn_id);
+    ASSERT_TRUE(it != committed_script.end());
+    TxnScript& s = scripts[it->second];
+    auto t = serial.db->Begin();
+    ASSERT_OK(t.status());
+    for (TxnOp& op : s.ops) ASSERT_OK(op(*serial.db, t.value()));
+    ASSERT_OK(serial.db->Commit(t.value()));
+  }
+
+  ASSERT_OK_AND_ASSIGN(auto got, w.LogicalRows());
+  ASSERT_OK_AND_ASSIGN(auto want, serial.LogicalRows());
+  EXPECT_EQ(got, want)
+      << "concurrent execution is not equivalent to the serial replay";
+}
+
+TEST(SerializabilityTest, FiftySeedsAtFourWorkers) {
+  uint32_t workers = WorkersFromEnv(4);
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    CheckSerializable(seed, workers);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(SerializabilityTest, WorkerCountSweep) {
+  for (uint32_t workers : {1u, 2u, 8u}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      CheckSerializable(seed, workers);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SerializabilityTest, ContentionActuallyHappens) {
+  // The oracle is vacuous if no transaction ever waits: check the seeded
+  // mix really produces lock waits at 4 workers across the seed range.
+  uint64_t waits = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ConcurrencyWorkload w;
+    ASSERT_OK(w.Setup(4));
+    ConcurrentExecutor ex(w.db.get());
+    for (TxnScript& s : w.MakeScripts(seed)) ex.Submit(std::move(s));
+    ASSERT_OK(ex.Run());
+    waits += ex.waits();
+  }
+  EXPECT_GT(waits, 0u);
+}
+
+}  // namespace
+}  // namespace mmdb
