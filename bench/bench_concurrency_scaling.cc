@@ -1,19 +1,22 @@
 // Concurrent-executor scaling: committed-transaction throughput vs the
 // number of simulated main-CPU transaction workers.
 //
-// Sweeps DatabaseOptions::txn_workers over {1, 2, 4, 8} on a fixed,
-// pre-generated debit/credit-style workload (same seed, same account/
-// teller/branch picks for every worker count) and reports virtual-time
-// throughput. The expected shape is the paper's transaction-rate curve:
-// per-worker CPU timelines overlap, so throughput rises with workers and
-// then flattens as the shared stable-memory allocation gate and lock
-// conflicts start to bite.
+// Sweeps DatabaseOptions::txn_workers over {1, 2, 4, 8, 16, 32} on a
+// fixed, pre-generated debit/credit-style workload (same seed, same
+// account/teller/branch picks for every worker count) and reports
+// virtual-time throughput. The expected shape is the paper's
+// transaction-rate curve: per-worker CPU timelines overlap, so
+// throughput rises with workers and then flattens as the shared
+// stable-memory allocation gate and lock conflicts start to bite —
+// the single-log-stream ceiling that bench_log_streams breaks.
 //
 // Two built-in checks (the process exits non-zero if either fails):
 //   * workers=1 parity — the executor with one worker must land within
 //     0.5% of the legacy direct driver running the identical transactions
 //     (the concurrency machinery may not tax single-stream execution);
-//   * monotonic throughput 1 -> 8 on this contention-light configuration.
+//   * monotonic throughput 1 -> 8 on this contention-light configuration,
+//     with flattening (but no collapse: >= 0.95x) tolerated at 16 and 32
+//     where the shared allocation gate saturates.
 
 #include <benchmark/benchmark.h>
 
@@ -220,10 +223,10 @@ bool PrintScaling() {
     ok = false;
   }
 
-  const uint32_t worker_counts[] = {1, 2, 4, 8};
+  const uint32_t worker_counts[] = {1, 2, 4, 8, 16, 32};
   std::printf("%8s | %12s %12s %8s %8s %10s\n", "workers", "elapsed vms",
               "txn/s", "waits", "dlocks", "vs 1");
-  double thr1 = 0, thr8 = 0, prev = 0;
+  double thr1 = 0, thr8 = 0, thr32 = 0, prev = 0;
   for (uint32_t w : worker_counts) {
     RunResult r = w == 1 ? single : RunWithWorkers(w, plans);
     if (!r.ok || r.committed != kTxns) {
@@ -235,6 +238,7 @@ bool PrintScaling() {
     double thr = r.txn_per_sec();
     if (w == 1) thr1 = thr;
     if (w == 8) thr8 = thr;
+    if (w == 32) thr32 = thr;
     std::printf("%8u | %12.3f %12.0f %8llu %8llu %9.2fx\n", w,
                 double(r.elapsed_ns) / 1e6, thr,
                 static_cast<unsigned long long>(r.waits),
@@ -250,7 +254,10 @@ bool PrintScaling() {
     report.Headline("elapsed_vms_workers" + std::to_string(w),
                     double(r.elapsed_ns) / 1e6);
     report.Headline("txn_per_sec_workers" + std::to_string(w), thr);
-    if (prev > 0 && thr < prev) {
+    // Strictly rising through 8 workers; past that the shared allocation
+    // gate is allowed to flatten the curve but not collapse it.
+    double floor = w <= 8 ? prev : prev * 0.95;
+    if (prev > 0 && thr < floor) {
       std::printf("ERROR: throughput fell from %.0f to %.0f txn/s going to "
                   "%u workers\n", prev, thr, w);
       ok = false;
@@ -260,6 +267,10 @@ bool PrintScaling() {
   if (thr1 > 0 && thr8 > 0) {
     report.Headline("workers8_speedup", thr8 / thr1);
     std::printf("\nworkers 1 -> 8 speedup: %.2fx\n", thr8 / thr1);
+  }
+  if (thr1 > 0 && thr32 > 0) {
+    report.Headline("workers32_speedup", thr32 / thr1);
+    std::printf("workers 1 -> 32 speedup: %.2fx\n", thr32 / thr1);
   }
   report.Set("series", std::move(series));
   (void)report.Write();

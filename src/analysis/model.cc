@@ -115,8 +115,10 @@ double RecoveryModel::DatabaseReloadMs(double total_partitions,
 
 double RecoveryModel::ParallelRecoveryMs(double total_partitions,
                                          double lanes,
-                                         double log_pages) const {
+                                         double log_pages,
+                                         double streams) const {
   if (lanes < 1.0) lanes = 1.0;
+  if (streams < 1.0) streams = 1.0;
   double image_ms = checkpoint_disk.TrackReadMs();
   double backward_reads =
       log_pages > directory_entries
@@ -134,9 +136,17 @@ double RecoveryModel::ParallelRecoveryMs(double total_partitions,
   // term: applies are gated on the image being in memory, so each
   // partition exposes its apply time, but the applies of a batch run in
   // parallel across the lanes.
-  double log_pair_ms = log_read_ms / 2.0;
+  // Partitioned logging spreads a partition's log pages across `streams`
+  // duplexed pairs read concurrently; the surviving per-stream runs are
+  // merged back into (epoch, csn) order at one lookup per record on the
+  // recovering lane.
+  double log_pair_ms = log_read_ms / (2.0 * streams);
+  double merge_ms = streams > 1.0
+                        ? log_pages * records_per_page *
+                              params.i_record_lookup / (main_cpu_mips * 1e3)
+                        : 0.0;
   return total_partitions * std::max(image_ms, log_pair_ms) +
-         total_partitions / lanes * apply_ms;
+         total_partitions / lanes * (apply_ms + merge_ms);
 }
 
 std::vector<std::string> FormatTable2(const Table2& t) {

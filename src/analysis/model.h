@@ -160,8 +160,13 @@ struct RecoveryModel {
   /// Device-bound workloads saturate early (more lanes buy nothing once
   /// a shared disk is streaming continuously); apply-heavy workloads
   /// keep scaling until the disks take over.
+  ///
+  /// `streams` models partitioned parallel logging: a partition's log
+  /// pages are spread across that many duplexed log-disk pairs read
+  /// concurrently (device floor divides by 2*streams), at the price of a
+  /// per-record (epoch, csn) merge on the recovering lane's CPU.
   double ParallelRecoveryMs(double total_partitions, double lanes,
-                            double log_pages) const;
+                            double log_pages, double streams = 1.0) const;
 };
 
 /// Pretty-printer used by the Table 2 bench: one row per parameter, with

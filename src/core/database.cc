@@ -45,9 +45,10 @@ Database::Database(DatabaseOptions opts)
       LogDiskWriter::Config{opts_.log_page_bytes, opts_.log_window_pages,
                             opts_.grace_pages},
       log_disks_.get());
+  const bool multi_stream = opts_.log_streams > 1;
   recovery_ = std::make_unique<RecoveryManager>(
-      RecoveryManager::Config{opts_.costs, opts_.n_update}, slb_.get(),
-      slt_.get(), log_writer_.get(), &recovery_cpu_);
+      RecoveryManager::Config{opts_.costs, opts_.n_update, multi_stream},
+      slb_.get(), slt_.get(), log_writer_.get(), &recovery_cpu_);
   archive_ = std::make_unique<ArchiveManager>();
   audit_ = std::make_unique<AuditLog>(
       AuditLog::Config{opts_.audit_buffer_bytes}, meter_.get());
@@ -64,6 +65,42 @@ Database::Database(DatabaseOptions opts)
   log_writer_->SetFaultInjector(fault_.get());
   recovery_->SetFaultInjector(fault_.get());
   resilver_->SetFaultInjector(fault_.get());
+
+  // Partitioned parallel logging: streams 1..N-1 each get their own SLB
+  // block pool, SLT bin table, duplexed log-disk pair, sort process, and
+  // allocation gate, all drawing from the shared stable-memory meter.
+  // Extra streams skip metrics/tracer attachment (series names are
+  // per-component); GetStats aggregates their counters directly.
+  if (multi_stream) {
+    epoch_flushed_.assign(opts_.log_streams, 0);
+    for (uint32_t s = 1; s < opts_.log_streams; ++s) {
+      const std::string tag = std::to_string(s);
+      auto ls = std::make_unique<LogStream>("slb.alloc_gate." + tag);
+      ls->slb = std::make_unique<StableLogBuffer>(
+          StableLogBuffer::Config{opts_.slb_block_bytes,
+                                  opts_.slb_capacity_bytes},
+          meter_.get());
+      ls->slt = std::make_unique<StableLogTail>(
+          StableLogTail::Config{opts_.directory_entries, 50,
+                                opts_.log_page_bytes},
+          meter_.get());
+      ls->disks = std::make_unique<sim::DuplexedDisk>("log" + tag,
+                                                      opts_.log_disk_params);
+      ls->writer = std::make_unique<LogDiskWriter>(
+          LogDiskWriter::Config{opts_.log_page_bytes, opts_.log_window_pages,
+                                opts_.grace_pages},
+          ls->disks.get());
+      ls->recovery = std::make_unique<RecoveryManager>(
+          RecoveryManager::Config{opts_.costs, opts_.n_update, true},
+          ls->slb.get(), ls->slt.get(), ls->writer.get(), &recovery_cpu_);
+      ls->slb->SetFaultInjector(fault_.get());
+      ls->slt->SetFaultInjector(fault_.get());
+      ls->disks->SetFaultInjector(fault_.get());
+      ls->writer->SetFaultInjector(fault_.get());
+      ls->recovery->SetFaultInjector(fault_.get());
+      extra_streams_.push_back(std::move(ls));
+    }
+  }
 
   v_ = std::make_unique<Volatile>(opts_);
   v_->catalog_segment = v_->pm.AllocateSegment();
@@ -186,12 +223,12 @@ std::vector<std::pair<uint64_t, uint64_t>> Database::TakePendingGrants() {
   return std::exchange(pending_grants_, {});
 }
 
-void Database::SlbAllocationGate() {
+void Database::SlbAllocationGate(uint32_t stream) {
   if (exec_ == nullptr) return;
   uint64_t svc = static_cast<uint64_t>(opts_.lock_instructions *
                                        main_cpu_.ns_per_instruction());
   uint64_t ready = vnow();
-  uint64_t done = slb_gate_.Occupy(ready, svc);
+  uint64_t done = gate_at(stream).Occupy(ready, svc);
   // The allocation bookkeeping itself is already charged through the
   // copy-cost instructions; only the queueing delay behind another
   // worker inside the critical section costs extra. A single stream
@@ -202,7 +239,11 @@ void Database::SlbAllocationGate() {
 Database::OpMark Database::MarkOperation(Transaction* txn) const {
   OpMark m;
   m.undo_depth = v_->undo.Depth(txn->id());
-  m.slb = slb_->Mark(txn->id());
+  const StableLogBuffer* slb =
+      txn->log_stream() == 0
+          ? slb_.get()
+          : extra_streams_[txn->log_stream() - 1]->slb.get();
+  m.slb = slb->Mark(txn->id());
   m.redo = txn->redo_mark();
   return m;
 }
@@ -216,7 +257,7 @@ Status Database::RollbackOperation(Transaction* txn, const OpMark& mark) {
     MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, pr.value()));
     MainWork(opts_.apply_instructions_per_record);
   }
-  slb_->Rewind(txn->id(), mark.slb);
+  slb_at(txn->log_stream())->Rewind(txn->id(), mark.slb);
   txn->RestoreRedo(mark.redo);
   return Status::OK();
 }
@@ -298,16 +339,20 @@ void Database::FlushCommitGroup() {
 
 Status Database::AppendRedo(Transaction* txn, const LogRecord& redo,
                             const LogRecord& undo) {
-  uint64_t blocks_before = slb_->blocks_allocated();
-  Status st = slb_->Append(txn->id(), redo);
+  StableLogBuffer* slb = slb_at(txn->log_stream());
+  uint64_t blocks_before = slb->blocks_allocated();
+  Status st = slb->Append(txn->id(), redo);
   if (st.IsFull()) {
     // Let the recovery CPU's sort process free committed blocks, then
-    // retry once.
-    MMDB_RETURN_IF_ERROR(recovery_->Drain(vnow()));
-    st = slb_->Append(txn->id(), redo);
+    // retry once. In partitioned-log mode unfenced epochs pin their
+    // blocks, so fence + drain every stream.
+    MMDB_RETURN_IF_ERROR(DrainAllStreams(vnow()));
+    st = slb->Append(txn->id(), redo);
   }
   if (!st.ok()) return st;
-  if (slb_->blocks_allocated() != blocks_before) SlbAllocationGate();
+  if (slb->blocks_allocated() != blocks_before) {
+    SlbAllocationGate(txn->log_stream());
+  }
   v_->undo.Push(txn->id(), undo);
   txn->NoteRedo(redo.SerializedSize());
   MainWork(opts_.costs.i_copy_fixed +
@@ -557,9 +602,21 @@ Result<Partition*> Database::CreatePartitionInSegment(SegmentId segment) {
   PartitionId pid{segment, number};
   auto bin = slt_->RegisterPartition(pid);
   if (!bin.ok()) return bin.status();
+  // Partitioned-log mode: mirror the registration in every stream's SLT.
+  // All streams' bin free-lists evolve identically, so the partition gets
+  // the same bin index everywhere and a record's bin_index addresses the
+  // right bin no matter which stream carried it.
+  for (auto& ls : extra_streams_) {
+    auto mirrored = ls->slt->RegisterPartition(pid);
+    if (!mirrored.ok()) return mirrored.status();
+    MMDB_CHECK(mirrored.value() == bin.value());
+  }
   auto created = v_->pm.CreatePartition(segment, bin.value());
   if (!created.ok()) {
     MMDB_CHECK(slt_->ReleaseBin(bin.value()).ok());
+    for (auto& ls : extra_streams_) {
+      MMDB_CHECK(ls->slt->ReleaseBin(bin.value()).ok());
+    }
     return created.status();
   }
   Partition* p = created.value();
@@ -676,6 +733,7 @@ Status Database::RecoverPartitionInternal(PartitionId pid, uint64_t ckpt_page,
 Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
                                         RestartReport* report) {
   uint64_t t = clock_.now_ns();
+  const uint64_t t_entry = t;
   auto bin_idx = slt_->FindBin(pid);
   if (!bin_idx.ok()) {
     return Status::Corruption("no Stable Log Tail bin for " + pid.ToString());
@@ -713,31 +771,43 @@ Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
                                        bin_idx.value());
   }
 
-  // Ordered log page reads: anchors backward, then stream forward
-  // (§2.5.1). Page payloads are byte ranges of the bin's record stream;
-  // concatenate them (plus the stable active page) and apply.
-  std::vector<uint64_t> lsns;
-  uint64_t backward = 0, done = t;
-  MMDB_RETURN_IF_ERROR(
-      recovery_->CollectPageList(bin_idx.value(), t, &lsns, &backward, &done));
-  t = done;
-  std::vector<uint8_t> stream;
-  for (uint64_t lsn : lsns) {
-    ParsedLogPage page;
-    MMDB_RETURN_IF_ERROR(
-        log_writer_->ReadPage(lsn, t, sim::SeekClass::kNear, &page, &done));
-    t = done;
-    stream.insert(stream.end(), page.payload.begin(), page.payload.end());
-    ++report->log_pages_read;
-  }
-  auto bin = slt_->bin(bin_idx.value());
-  if (bin.ok() && !bin.value()->active_page.empty()) {
-    meter_->ChargeRead(bin.value()->active_page.size());
-    stream.insert(stream.end(), bin.value()->active_page.begin(),
-                  bin.value()->active_page.end());
-  }
   std::vector<LogRecord> records;
-  MMDB_RETURN_IF_ERROR(ParseLogStream(stream, &records));
+  if (extra_streams_.empty()) {
+    // Ordered log page reads: anchors backward, then stream forward
+    // (§2.5.1). Page payloads are byte ranges of the bin's record stream;
+    // concatenate them (plus the stable active page) and apply.
+    std::vector<uint64_t> lsns;
+    uint64_t backward = 0, done = t;
+    MMDB_RETURN_IF_ERROR(recovery_->CollectPageList(bin_idx.value(), t, &lsns,
+                                                    &backward, &done));
+    t = done;
+    std::vector<uint8_t> stream;
+    for (uint64_t lsn : lsns) {
+      ParsedLogPage page;
+      MMDB_RETURN_IF_ERROR(
+          log_writer_->ReadPage(lsn, t, sim::SeekClass::kNear, &page, &done));
+      t = done;
+      stream.insert(stream.end(), page.payload.begin(), page.payload.end());
+      ++report->log_pages_read;
+    }
+    auto bin = slt_->bin(bin_idx.value());
+    if (bin.ok() && !bin.value()->active_page.empty()) {
+      meter_->ChargeRead(bin.value()->active_page.size());
+      stream.insert(stream.end(), bin.value()->active_page.begin(),
+                    bin.value()->active_page.end());
+    }
+    MMDB_RETURN_IF_ERROR(ParseLogStream(stream, &records));
+  } else {
+    // Partitioned-log mode: each stream's chain is read on its own disk
+    // pair, overlapping the checkpoint-image transfer above (different
+    // devices), and the per-stream record sequences are merged back into
+    // group-commit order. The apply is gated on the slowest of them.
+    uint64_t pages = 0, merged_done = t_entry;
+    MMDB_RETURN_IF_ERROR(CollectMergedRecords(bin_idx.value(), t_entry,
+                                              &records, &pages, &merged_done));
+    t = std::max(t, merged_done);
+    report->log_pages_read += pages;
+  }
   if (fault_->armed()) {
     // restart.apply site: a crash here models a crash-within-restart —
     // the half-applied partition is volatile and simply rebuilt again.
@@ -760,6 +830,75 @@ Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
   auto d = v_->catalog.FindDescriptor(pid);
   if (d.ok()) d.value()->resident = true;
   ++report->partitions_recovered;
+  return Status::OK();
+}
+
+Status Database::CollectMergedRecords(uint32_t bin_index, uint64_t now_ns,
+                                      std::vector<LogRecord>* records,
+                                      uint64_t* pages_read, uint64_t* done_ns) {
+  records->clear();
+  *pages_read = 0;
+  *done_ns = now_ns;
+  const uint32_t n = log_streams();
+  std::vector<std::vector<LogRecord>> per_stream(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    // Each stream's chain reads serially on its own duplexed pair, all
+    // streams starting together at now_ns — the N pairs work in parallel
+    // and the merge is gated on the slowest stream.
+    uint64_t t = now_ns;
+    std::vector<uint64_t> lsns;
+    uint64_t backward = 0, done = t;
+    MMDB_RETURN_IF_ERROR(
+        recovery_at(s)->CollectPageList(bin_index, t, &lsns, &backward, &done));
+    t = done;
+    std::vector<uint8_t> stream_bytes;
+    for (uint64_t lsn : lsns) {
+      ParsedLogPage page;
+      MMDB_RETURN_IF_ERROR(
+          writer_at(s)->ReadPage(lsn, t, sim::SeekClass::kNear, &page, &done));
+      t = done;
+      stream_bytes.insert(stream_bytes.end(), page.payload.begin(),
+                          page.payload.end());
+      ++*pages_read;
+    }
+    auto bin = slt_at(s)->bin(bin_index);
+    if (bin.ok() && !bin.value()->active_page.empty()) {
+      meter_->ChargeRead(bin.value()->active_page.size());
+      stream_bytes.insert(stream_bytes.end(), bin.value()->active_page.begin(),
+                          bin.value()->active_page.end());
+    }
+    MMDB_RETURN_IF_ERROR(
+        ParseLogStream(stream_bytes, &per_stream[s], /*with_epoch=*/true));
+    if (t > *done_ns) *done_ns = t;
+  }
+
+  // K-way merge by (epoch, csn). Each stream's sequence is already a
+  // subsequence of the global commit order, so a cursor merge restores
+  // it exactly; ties are impossible (a csn belongs to one transaction,
+  // a transaction to one stream).
+  size_t total = 0;
+  for (const auto& v : per_stream) total += v.size();
+  records->reserve(total);
+  std::vector<size_t> cursor(n, 0);
+  while (records->size() < total) {
+    uint32_t best = n;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (cursor[s] >= per_stream[s].size()) continue;
+      if (best == n) {
+        best = s;
+        continue;
+      }
+      const LogRecord& a = per_stream[s][cursor[s]];
+      const LogRecord& b = per_stream[best][cursor[best]];
+      if (std::make_pair(a.epoch, a.csn) < std::make_pair(b.epoch, b.csn)) {
+        best = s;
+      }
+    }
+    MMDB_CHECK(best < n);
+    main_cpu_.Execute(opts_.costs.i_record_lookup);
+    records->push_back(std::move(per_stream[best][cursor[best]]));
+    ++cursor[best];
+  }
   return Status::OK();
 }
 
@@ -923,9 +1062,11 @@ void Database::ReleaseSegmentStorage(
   for (const PartitionDescriptor& d : descriptors) {
     auto bin = slt_->FindBin(d.id);
     if (bin.ok()) {
-      recovery_->OnPartitionDropped(bin.value());
-      Status st = slt_->ReleaseBin(bin.value());
-      (void)st;
+      for (uint32_t s = 0; s < log_streams(); ++s) {
+        recovery_at(s)->OnPartitionDropped(bin.value());
+        Status st = slt_at(s)->ReleaseBin(bin.value());
+        (void)st;
+      }
     }
     Status st = v_->pm.DropPartition(d.id);
     (void)st;  // non-resident partitions are fine
@@ -945,7 +1086,7 @@ Status Database::DropIndex(const std::string& index_name) {
   Transaction* txn = txn_r.value();
   Status st = v_->locks.Acquire(
       txn->id(), LockResource::Relation(rel.value()->id), LockMode::kX);
-  if (st.ok()) st = recovery_->Drain(clock_.now_ns());
+  if (st.ok()) st = DrainAllStreams(clock_.now_ns());
   std::vector<PartitionDescriptor> descriptors = idx.value()->partitions;
   if (st.ok()) st = LogObjectDrop(txn, descriptors);
   if (st.ok() && !idx.value()->row_addr.IsNull()) {
@@ -1003,7 +1144,7 @@ Status Database::DropRelation(const std::string& relation_name) {
   Transaction* txn = txn_r.value();
   Status st = v_->locks.Acquire(
       txn->id(), LockResource::Relation(rel.value()->id), LockMode::kX);
-  if (st.ok()) st = recovery_->Drain(clock_.now_ns());
+  if (st.ok()) st = DrainAllStreams(clock_.now_ns());
   std::vector<PartitionDescriptor> descriptors = rel.value()->partitions;
   if (st.ok()) st = LogObjectDrop(txn, descriptors);
   if (st.ok() && !rel.value()->row_addr.IsNull()) {
@@ -1037,6 +1178,11 @@ Result<Transaction*> Database::Begin(TxnKind kind,
   MainWork(50);
   Transaction* txn = v_->txns.Begin(kind);
   txn->set_begin_ns(vnow());
+  // Partitioned-log routing: executor-bound user transactions spread
+  // across the streams by worker; everything else stays on stream 0.
+  if (!extra_streams_.empty() && kind == TxnKind::kUser && exec_ != nullptr) {
+    txn->set_log_stream(exec_->worker % log_streams());
+  }
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(AuditRecord{
         txn->id(), vnow(), AuditKind::kBegin, user_data}));
@@ -1055,8 +1201,29 @@ Status Database::Commit(Transaction* txn) {
   uint64_t begin_ns = txn->begin_ns();
   // Moving the chain to the committed list touches the SLB's shared
   // lists — the same critical section as block allocation (§2.3.1).
-  SlbAllocationGate();
-  MMDB_RETURN_IF_ERROR(slb_->Commit(id));
+  SlbAllocationGate(txn->log_stream());
+  if (extra_streams_.empty()) {
+    MMDB_RETURN_IF_ERROR(slb_->Commit(id));
+  } else {
+    // Epoch group commit: stamp (epoch, csn) before moving the chain.
+    // The csn latch makes (epoch, csn) a total order consistent with
+    // commit order; a crash inside slb Commit's entry barrier leaves the
+    // chain uncommitted while the harmless ledger advance stands.
+    uint32_t e = std::max<uint32_t>(
+        static_cast<uint32_t>(vnow() / opts_.epoch_interval_ns) + 1,
+        epoch_stamped_last_);
+    epoch_stamped_last_ = e;
+    uint64_t csn = ++epoch_csn_last_;
+    last_commit_epoch_ = e;
+    last_commit_csn_ = csn;
+    MMDB_RETURN_IF_ERROR(slb_at(txn->log_stream())->Commit(id, e, csn));
+    if (kind != TxnKind::kUser) {
+      // Checkpoint / system / DDL commits are fenced durable on the
+      // spot: their effects (catalog rows, descriptor updates) must
+      // never be discarded by the cross-stream epoch rule.
+      MMDB_RETURN_IF_ERROR(FenceEpochs());
+    }
+  }
   if (kind == TxnKind::kUser) ApplyCommitDurability(redo_bytes);
   if (kind == TxnKind::kUser) {
     obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
@@ -1125,8 +1292,8 @@ Status Database::Abort(Transaction* txn) {
     }
     MainWork(opts_.apply_instructions_per_record);
   }
-  SlbAllocationGate();
-  MMDB_RETURN_IF_ERROR(slb_->Discard(id));
+  SlbAllocationGate(txn->log_stream());
+  MMDB_RETURN_IF_ERROR(slb_at(txn->log_stream())->Discard(id));
   NoteGrants(v_->locks.ReleaseAll(id));
   TxnKind kind = txn->kind();
   if (kind == TxnKind::kUser) {
@@ -1384,8 +1551,38 @@ Result<std::vector<std::pair<EntityAddr, Tuple>>> Database::Scan(
 // ---------------------------------------------------------------------------
 
 Status Database::PumpRecovery(uint64_t max_records) {
-  auto n = recovery_->Pump(max_records, clock_.now_ns());
-  if (!n.ok()) return n.status();
+  // Partitioned-log mode: fence first so every stamped epoch becomes
+  // durable, then let each stream's sort process consume up to its own
+  // flush marker. With a single stream the fence is a no-op and the pump
+  // bound is unbounded — the legacy path exactly.
+  MMDB_RETURN_IF_ERROR(FenceEpochs());
+  for (uint32_t s = 0; s < log_streams(); ++s) {
+    auto n = recovery_at(s)->Pump(max_records, clock_.now_ns(), PumpBound(s));
+    if (!n.ok()) return n.status();
+  }
+  return Status::OK();
+}
+
+Status Database::FenceEpochs() {
+  if (extra_streams_.empty()) return Status::OK();
+  for (uint32_t s = 0; s < log_streams(); ++s) {
+    if (epoch_flushed_[s] == epoch_stamped_last_) continue;
+    // The per-stream epoch flush marker is one small stable-memory write.
+    // A crash landing between two streams' markers is exactly the group-
+    // commit window: the epoch is acknowledged on a prefix of streams
+    // only, and the next restart's frontier discards it everywhere.
+    meter_->ChargeWrite(8);
+    MMDB_RETURN_IF_ERROR(fault::Barrier(fault_.get()));
+    epoch_flushed_[s] = epoch_stamped_last_;
+  }
+  return Status::OK();
+}
+
+Status Database::DrainAllStreams(uint64_t now_ns) {
+  MMDB_RETURN_IF_ERROR(FenceEpochs());
+  for (uint32_t s = 0; s < log_streams(); ++s) {
+    MMDB_RETURN_IF_ERROR(recovery_at(s)->Drain(now_ns, PumpBound(s)));
+  }
   return Status::OK();
 }
 
@@ -1401,7 +1598,7 @@ Status Database::ForceCheckpointRelation(const std::string& relation) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
   auto rel = v_->catalog.GetRelation(relation);
   if (!rel.ok()) return rel.status();
-  MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+  MMDB_RETURN_IF_ERROR(DrainAllStreams(clock_.now_ns()));
   for (const PartitionDescriptor& d : rel.value()->partitions) {
     slb_->RequestCheckpoint(d.id, CheckpointTrigger::kForced);
   }
@@ -1417,7 +1614,7 @@ Status Database::ForceCheckpointRelation(const std::string& relation) {
 
 Status Database::CheckpointEverything() {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
-  MMDB_RETURN_IF_ERROR(recovery_->Drain(clock_.now_ns()));
+  MMDB_RETURN_IF_ERROR(DrainAllStreams(clock_.now_ns()));
   for (Partition* p : v_->pm.AllPartitions()) {
     slb_->RequestCheckpoint(p->id(), CheckpointTrigger::kForced);
   }
@@ -1428,9 +1625,28 @@ void Database::Crash() {
   // Volatile state is gone: the primary copy, locks, UNDO space,
   // in-flight transactions, in-memory catalogs.
   v_ = std::make_unique<Volatile>(opts_);
-  slb_->OnCrash();
+  if (!extra_streams_.empty()) {
+    // Cross-stream discard invariant: an epoch not acknowledged durable
+    // on EVERY stream at the crash is discarded on every stream, so no
+    // committed transaction can survive on one stream while a conflicting
+    // earlier one vanishes on another.
+    uint32_t frontier =
+        *std::min_element(epoch_flushed_.begin(), epoch_flushed_.end());
+    // A crash inside a previous restart's end fence may have advanced a
+    // subset of the markers past epochs that earlier crash discarded;
+    // the latched frontier (stable restart record) never moves forward
+    // until a restart durably completes.
+    frontier = std::min(frontier, epoch_discard_frontier_);
+    epoch_discard_frontier_ = frontier;
+    for (uint32_t s = 0; s < log_streams(); ++s) {
+      slb_at(s)->DiscardCommittedAfter(frontier);
+    }
+  }
+  for (uint32_t s = 0; s < log_streams(); ++s) slb_at(s)->OnCrash();
   v_->undo.Clear();
-  recovery_->RebuildFirstLsnList();
+  for (uint32_t s = 0; s < log_streams(); ++s) {
+    recovery_at(s)->RebuildFirstLsnList();
+  }
   resilver_->OnCrash();
   fault_->OnCrashDelivered();
   crashed_ = true;
@@ -1653,6 +1869,16 @@ DatabaseStats Database::GetStats() const {
   if (const obs::Histogram* h = metrics_.find_histogram("commit.wait_ns")) {
     s.commit_wait_ms_total = h->sum() * 1e-6;
     s.commits_waited = h->count();
+  }
+  // Extra log streams skip metrics attachment (series names are
+  // per-component, not per-stream); fold their counters in directly.
+  for (const auto& ls : extra_streams_) {
+    s.records_logged += ls->slb->records_appended();
+    s.bytes_logged += ls->slb->bytes_appended();
+    s.records_sorted += ls->recovery->records_sorted();
+    s.log_pages_flushed += ls->recovery->pages_flushed();
+    s.checkpoints_update_count += ls->recovery->checkpoints_requested_update();
+    s.checkpoints_age += ls->recovery->checkpoints_requested_age();
   }
   return s;
 }

@@ -145,6 +145,21 @@ struct DatabaseOptions {
   uint16_t ttree_node_capacity = TTree::kDefaultNodeCapacity;
   uint32_t hash_initial_buckets = 8;
   uint16_t hash_node_capacity = LinearHash::kDefaultNodeCapacity;
+
+  /// Partitioned parallel logging: number of independent log streams,
+  /// each with its own SLB block pool, SLT bin table, duplexed log-disk
+  /// pair, sort process, and block-allocation gate. Executor-bound user
+  /// transactions are routed to stream (worker % log_streams); everything
+  /// else uses stream 0. Commit durability across streams is coordinated
+  /// by epoch group commit (see epoch_interval_ns). 1 (the default) is
+  /// the paper's single-stream design and stays byte- and
+  /// timing-identical to the legacy path.
+  uint32_t log_streams = 1;
+  /// Group-commit epoch length in virtual ns (log_streams > 1 only):
+  /// each commit is stamped with epoch max(vnow / interval + 1, last
+  /// stamped) and becomes externally durable only once every stream has
+  /// written its epoch flush marker at or past that epoch.
+  uint64_t epoch_interval_ns = 100'000;
 };
 
 /// Aggregated counters for benches and tests.
@@ -180,6 +195,12 @@ struct RestartReport {
   uint64_t partitions_recovered = 0;  // during Restart itself
   uint64_t log_pages_read = 0;
   uint64_t records_applied = 0;
+  /// Partitioned-log mode: the epoch frontier the restart recovered to —
+  /// min over streams of the last epoch whose flush marker that stream
+  /// persisted before the crash. Committed transactions stamped past the
+  /// frontier were discarded on every stream (the cross-stream discard
+  /// invariant). UINT32_MAX with a single stream (no epoch gating).
+  uint32_t epoch_frontier = UINT32_MAX;
 };
 
 /// The memory-resident database system with the paper's recovery
@@ -244,8 +265,23 @@ class Database {
       Transaction* txn, const std::string& relation);
 
   // --- recovery control -------------------------------------------------------
-  /// Lets the recovery CPU sort up to `max_records` committed records.
+  /// Lets the recovery CPU sort up to `max_records` committed records
+  /// (per stream in partitioned-log mode, after fencing epochs).
   Status PumpRecovery(uint64_t max_records = ~0ull);
+  /// Partitioned-log mode: writes every stream's epoch flush marker so
+  /// all epochs stamped so far become externally durable (the group-
+  /// commit fence). A crash between the per-stream markers leaves the
+  /// fenced epoch acknowledged on some streams only — restart discards
+  /// it everywhere. No-op with a single stream.
+  Status FenceEpochs();
+  /// Group-commit stamp of the most recent commit (partitioned-log mode;
+  /// zero with a single stream). The concurrent executor samples these
+  /// right after each successful Commit.
+  uint32_t last_commit_epoch() const { return last_commit_epoch_; }
+  uint64_t last_commit_csn() const { return last_commit_csn_; }
+  uint32_t log_streams() const {
+    return 1 + static_cast<uint32_t>(extra_streams_.size());
+  }
   /// Main CPU processes pending checkpoint requests (between
   /// transactions).
   Status RunCheckpoints();
@@ -463,6 +499,50 @@ class Database {
   Result<TTree*> GetTTree(const std::string& name);
   Result<LinearHash*> GetLinearHash(const std::string& name);
 
+  // --- partitioned-log plumbing ----------------------------------------------
+  /// One extra log stream (streams 1..N-1; stream 0 is the legacy member
+  /// set). Stable: survives Crash(). Extra streams skip metrics/tracer
+  /// attachment (series names are per-component, not per-stream).
+  struct LogStream {
+    explicit LogStream(const std::string& gate_name) : gate(gate_name) {}
+    std::unique_ptr<StableLogBuffer> slb;
+    std::unique_ptr<StableLogTail> slt;
+    std::unique_ptr<sim::DuplexedDisk> disks;
+    std::unique_ptr<LogDiskWriter> writer;
+    std::unique_ptr<RecoveryManager> recovery;
+    /// Per-stream SLB block-allocation gate.
+    sim::DeviceTimeline gate;
+  };
+  StableLogBuffer* slb_at(uint32_t s) {
+    return s == 0 ? slb_.get() : extra_streams_[s - 1]->slb.get();
+  }
+  StableLogTail* slt_at(uint32_t s) {
+    return s == 0 ? slt_.get() : extra_streams_[s - 1]->slt.get();
+  }
+  LogDiskWriter* writer_at(uint32_t s) {
+    return s == 0 ? log_writer_.get() : extra_streams_[s - 1]->writer.get();
+  }
+  RecoveryManager* recovery_at(uint32_t s) {
+    return s == 0 ? recovery_.get() : extra_streams_[s - 1]->recovery.get();
+  }
+  sim::DeviceTimeline& gate_at(uint32_t s) {
+    return s == 0 ? slb_gate_ : extra_streams_[s - 1]->gate;
+  }
+  /// Epoch bound for stream `s`'s sort process (UINT32_MAX when single-
+  /// stream: no gating).
+  uint32_t PumpBound(uint32_t s) const {
+    return extra_streams_.empty() ? UINT32_MAX : epoch_flushed_[s];
+  }
+  /// Fences epochs, then drains every stream's committed backlog.
+  Status DrainAllStreams(uint64_t now_ns);
+  /// Multi-stream partition recovery: reads every stream's log chain for
+  /// `bin_index` (streams proceed concurrently on their own disk pairs),
+  /// parses the epoch-framed records, and merges them by (epoch, csn)
+  /// into group-commit order. `*done_ns` is the latest read completion.
+  Status CollectMergedRecords(uint32_t bin_index, uint64_t now_ns,
+                              std::vector<LogRecord>* records,
+                              uint64_t* pages_read, uint64_t* done_ns);
+
   void MainWork(double instructions);
   /// Waits for virtual time `t_ns` (I/O completion): advances the global
   /// clock in single-stream mode, or idles just the bound worker.
@@ -478,7 +558,7 @@ class Database {
   /// critical section is needed only for block allocation"): concurrent
   /// workers queue on a shared gate and pay only the queueing delay, so
   /// a single stream is timing-identical to the legacy path.
-  void SlbAllocationGate();
+  void SlbAllocationGate(uint32_t stream);
   /// Runs sort-process pump + pending checkpoint transactions after a
   /// user commit, on the shared system clock when a worker context is
   /// bound (checkpointing is the main CPU's serial between-transactions
@@ -520,6 +600,28 @@ class Database {
   std::unique_ptr<ArchiveManager> archive_;
   std::unique_ptr<AuditLog> audit_;
   std::unique_ptr<Resilverer> resilver_;
+
+  /// Partitioned-log mode: streams 1..N-1 (stream 0 lives in the legacy
+  /// members above). Stable — the pools and disks survive Crash().
+  std::vector<std::unique_ptr<LogStream>> extra_streams_;
+  /// Epoch group-commit ledger (stable; empty/zero in single-stream
+  /// mode). `epoch_flushed_[s]` is the last epoch whose flush marker
+  /// stream `s` persisted; `epoch_stamped_last_` the highest epoch any
+  /// commit carries; `epoch_csn_last_` the commit-sequence latch giving
+  /// (epoch, csn) a total order consistent with commit order.
+  uint32_t epoch_stamped_last_ = 0;
+  uint64_t epoch_csn_last_ = 0;
+  std::vector<uint32_t> epoch_flushed_;
+  /// Stable restart record: the discard frontier latched by Crash() and
+  /// cleared only when a restart durably completes. A crash inside the
+  /// end-of-restart fence may have advanced a subset of the per-stream
+  /// markers past epochs the original crash already discarded; retries
+  /// must keep reporting the original frontier, never the min of the
+  /// partially-advanced markers.
+  uint32_t epoch_discard_frontier_ = UINT32_MAX;
+  /// Volatile convenience mirrors of the most recent commit's stamp.
+  uint32_t last_commit_epoch_ = 0;
+  uint64_t last_commit_csn_ = 0;
 
   // Volatile state: destroyed by Crash(), rebuilt by Restart().
   std::unique_ptr<Volatile> v_;

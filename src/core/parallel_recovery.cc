@@ -26,6 +26,19 @@ Status Database::RecoverPartitionsParallel(
     const std::vector<RecoveryWorkItem>& work, RestartReport* report) {
   if (work.empty()) return Status::OK();
 
+  // Partitioned-log mode: the per-partition log chain lives on N streams
+  // that already read in parallel on their own duplexed pairs inside
+  // CollectMergedRecords, so each partition takes the serial path (whose
+  // multi-stream branch overlaps the image read with the stream reads).
+  // The single-stream pipelined scheduler below stays byte-identical for
+  // log_streams == 1.
+  if (!extra_streams_.empty()) {
+    for (const RecoveryWorkItem& w : work) {
+      MMDB_RETURN_IF_ERROR(RecoverPartitionSerial(w.pid, w.ckpt_page, report));
+    }
+    return Status::OK();
+  }
+
   // Ablation baseline: one lane, no pipelining — the strictly serial
   // legacy chain, byte- and timing-identical to the pre-scheduler path.
   if (!opts_.pipelined_recovery && opts_.recovery_parallelism <= 1) {

@@ -32,6 +32,7 @@ DatabaseOptions CrashExplorer::TrialOptions() const {
   o.restart_policy = RestartPolicy::kFullReload;
   o.enable_tracing = opts_.trace;
   if (opts_.txn_workers > 1) o.txn_workers = opts_.txn_workers;
+  if (opts_.log_streams > 1) o.log_streams = opts_.log_streams;
   return o;
 }
 
@@ -104,11 +105,17 @@ Status CrashExplorer::RunScript(Database* db, Ledger* led) {
       if (st.IsFault()) {
         // Commit returned the injected fault: the SLB commit may or may
         // not have preceded the crash — the one in-doubt transaction.
+        // (The epoch stamp precedes every fault site inside Commit, so
+        // the stamp mirror holds this transaction's epoch.)
         led->has_indoubt = true;
         led->indoubt_upserts = ups;
         led->indoubt_deletes = dels;
+        led->indoubt_epoch = db->last_commit_epoch();
       }
       return st;
+    }
+    if (db->log_streams() > 1) {
+      led->epoch_seq.push_back({db->last_commit_epoch(), ups, dels});
     }
     for (const auto& [k, v] : ups) led->committed[k] = v;
     for (int64_t k : dels) {
@@ -166,8 +173,12 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
       if (st.IsFault()) {
         led->has_indoubt = true;
         led->indoubt_upserts = ups;
+        led->indoubt_epoch = db->last_commit_epoch();
       }
       return st;
+    }
+    if (db->log_streams() > 1) {
+      led->epoch_seq.push_back({db->last_commit_epoch(), ups, {}});
     }
     for (const auto& [k, v] : ups) led->committed[k] = v;
   }
@@ -236,6 +247,10 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
       auto it = by_txn.find(id);
       if (it == by_txn.end()) continue;
       const Effect& ef = effects[it->second];
+      if (db->log_streams() > 1) {
+        const ScriptResult& r = rs[it->second - lo];
+        led->epoch_seq.push_back({r.commit_epoch, ef.ups, ef.dels});
+      }
       for (const auto& [k, v] : ef.ups) led->committed[k] = v;
       for (int64_t k : ef.dels) led->committed.erase(k);
     }
@@ -245,6 +260,10 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
         led->has_indoubt = true;
         led->indoubt_upserts = ef.ups;
         led->indoubt_deletes = ef.dels;
+        // A faulted Commit never reaches the stamp-mirror update of a
+        // later commit (the crash latches), so the mirror still holds
+        // this transaction's epoch.
+        led->indoubt_epoch = db->last_commit_epoch();
       }
     }
   };
@@ -355,19 +374,36 @@ Status CrashExplorer::CheckInvariants(Database* db, const Ledger& led,
       got[std::get<int64_t>(tup[0])] = std::get<int64_t>(tup[1]);
     }
 
-    // Durability + atomicity: the recovered rows equal the committed set,
-    // or the committed set plus the full effect of the single in-doubt
+    // Durability + atomicity: the recovered rows equal the expected set,
+    // or the expected set plus the full effect of the single in-doubt
     // transaction — nothing else (no partial transactions, no phantoms).
-    bool match_committed = got == led.committed;
-    std::map<int64_t, int64_t> with_indoubt = led.committed;
+    // With partitioned logging the expected set is the epoch ledger
+    // folded up to the restart's reported frontier: an epoch the crash
+    // caught unacknowledged on any stream must be discarded on every
+    // stream, always as a suffix of the commit order.
+    std::map<int64_t, int64_t> expected;
+    bool indoubt_possible = led.has_indoubt;
+    if (opts_.log_streams > 1) {
+      uint32_t fold_to = db->last_restart().epoch_frontier;
+      for (const Ledger::EpochEntry& en : led.epoch_seq) {
+        if (en.epoch > fold_to) break;  // epochs nondecreasing: a suffix
+        for (const auto& [k, v] : en.ups) expected[k] = v;
+        for (int64_t k : en.dels) expected.erase(k);
+      }
+      indoubt_possible = led.has_indoubt && led.indoubt_epoch <= fold_to;
+    } else {
+      expected = led.committed;
+    }
+    bool match_committed = got == expected;
+    std::map<int64_t, int64_t> with_indoubt = expected;
     for (const auto& [k, v] : led.indoubt_upserts) with_indoubt[k] = v;
     for (int64_t k : led.indoubt_deletes) with_indoubt.erase(k);
-    bool match_indoubt = led.has_indoubt && got == with_indoubt;
+    bool match_indoubt = indoubt_possible && got == with_indoubt;
     if (!match_committed && !match_indoubt) {
       return fail("recovered rows (" + std::to_string(got.size()) +
-                  ") match neither the committed set (" +
-                  std::to_string(led.committed.size()) +
-                  ") nor committed+in-doubt");
+                  ") match neither the expected set (" +
+                  std::to_string(expected.size()) +
+                  ") nor expected+in-doubt");
     }
 
     // Index / relation consistency.

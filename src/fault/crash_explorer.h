@@ -34,6 +34,12 @@ struct ExplorerOptions {
   /// (shared hot rows under the wait-queue lock policy), and the
   /// expected-state ledger is derived from the executor's commit order.
   uint32_t txn_workers = 0;
+  /// >= 2: partitioned parallel logging with epoch group commit. The
+  /// durability invariant weakens per the group-commit contract: a
+  /// Commit acknowledged OK is durable only once its epoch is fenced on
+  /// every stream, so the expected state folds the per-commit epoch
+  /// ledger against the restart's reported epoch frontier.
+  uint32_t log_streams = 1;
 };
 
 struct ExplorerReport {
@@ -53,7 +59,10 @@ struct ExplorerReport {
 /// recovers, and asserts the recovery invariants:
 ///
 ///  * durability  — every transaction whose Commit returned OK is fully
-///    present after recovery;
+///    present after recovery (with log_streams >= 2: every OK commit
+///    whose epoch the restart frontier covers — an epoch unacknowledged
+///    on any stream at the crash is discarded on every stream, always as
+///    a suffix of the commit order);
 ///  * atomicity   — the at-most-one transaction whose Commit returned the
 ///    injected-crash fault is either fully present or fully absent, and
 ///    transactions that never committed are absent;
@@ -86,11 +95,23 @@ class CrashExplorer {
     /// Rows of every transaction whose Commit returned OK.
     std::map<int64_t, int64_t> committed;
     std::map<int64_t, EntityAddr> addrs;
+    /// Partitioned-log mode: one entry per OK'd row commit, in commit
+    /// order (epochs nondecreasing), so the expected set can be refolded
+    /// against the restart's epoch frontier — the group-commit discard
+    /// is always a suffix of this sequence.
+    struct EpochEntry {
+      uint32_t epoch = 0;
+      std::map<int64_t, int64_t> ups;
+      std::vector<int64_t> dels;
+    };
+    std::vector<EpochEntry> epoch_seq;
     /// Delta of the at-most-one transaction whose Commit returned the
-    /// injected fault (durable iff the SLB commit preceded the crash).
+    /// injected fault (durable iff the SLB commit preceded the crash —
+    /// and, in partitioned-log mode, its epoch is inside the frontier).
     bool has_indoubt = false;
     std::map<int64_t, int64_t> indoubt_upserts;
     std::vector<int64_t> indoubt_deletes;
+    uint32_t indoubt_epoch = 0;
     /// Every phase-B transaction committed (crash landed at or after the
     /// scripted checkpoint/crash phase).
     bool workload_complete = false;

@@ -8,11 +8,18 @@
 namespace mmdb {
 
 Status ParseLogStream(std::span<const uint8_t> stream,
-                      std::vector<LogRecord>* records) {
+                      std::vector<LogRecord>* records, bool with_epoch) {
   wire::Reader r(stream);
   while (r.remaining() > 0) {
+    uint32_t epoch = 0;
+    uint64_t csn = 0;
+    if (with_epoch && (!r.GetU32(&epoch) || !r.GetU64(&csn))) {
+      return Status::Corruption("truncated epoch frame");
+    }
     auto rec = LogRecord::Parse(&r);
     if (!rec.ok()) return rec.status();
+    rec.value().epoch = epoch;
+    rec.value().csn = csn;
     records->push_back(std::move(rec).value());
   }
   return Status::OK();

@@ -37,9 +37,12 @@ struct ParsedLogPage {
   std::vector<uint8_t> payload;
 };
 
-/// Parses a complete record stream (concatenated page payloads).
+/// Parses a complete record stream (concatenated page payloads). With
+/// `with_epoch` set, every record is preceded by the 12-byte epoch frame
+/// (multi-stream log format) and the parsed records carry epoch/csn.
 Status ParseLogStream(std::span<const uint8_t> stream,
-                      std::vector<LogRecord>* records);
+                      std::vector<LogRecord>* records,
+                      bool with_epoch = false);
 
 /// Writer/reader of the duplexed log disks, and keeper of the *log
 /// window* (paper §2.3.3).

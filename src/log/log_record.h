@@ -50,8 +50,27 @@ struct LogRecord {
   int64_t key = 0;
   EntityAddr child;
 
-  /// Exact on-wire size in bytes (header + payload).
+  /// Commit-epoch stamp (partitioned-log mode, DatabaseOptions::
+  /// log_streams > 1): the group-commit epoch the owning transaction
+  /// committed in, and its global commit sequence number. Not part of the
+  /// legacy wire format — multi-stream log pages carry both in a 12-byte
+  /// [epoch u32 | csn u64] frame prefix before each record, so the
+  /// single-stream on-disk format stays byte-identical.
+  uint32_t epoch = 0;
+  uint64_t csn = 0;
+
+  /// Size of the epoch frame prefix in multi-stream log pages.
+  static constexpr size_t kEpochFrameBytes = 4 + 8;
+
+  /// Exact on-wire size in bytes (header + payload), excluding any epoch
+  /// frame prefix.
   size_t SerializedSize() const;
+
+  /// Writes the multi-stream epoch frame prefix ([epoch u32 | csn u64]).
+  void AppendEpochFrame(std::vector<uint8_t>* out) const;
+
+  /// Reads an epoch frame prefix into `epoch`/`csn`.
+  bool ParseEpochFrame(wire::Reader* r);
 
   void AppendTo(std::vector<uint8_t>* out) const;
 

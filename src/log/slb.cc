@@ -51,19 +51,20 @@ Status StableLogBuffer::AppendToChain(Chain* chain, const LogRecord& rec) {
     chain->blocks.push_back(std::move(b));
   }
   Block& b = chain->blocks.back();
-  std::vector<uint8_t> tmp;
-  rec.AppendTo(&tmp);
-  MMDB_CHECK(b.used + tmp.size() <= b.buf.size());
-  std::copy(tmp.begin(), tmp.end(), b.buf.begin() + b.used);
-  b.used += static_cast<uint32_t>(tmp.size());
+  append_scratch_.clear();
+  rec.AppendTo(&append_scratch_);
+  MMDB_CHECK(b.used + append_scratch_.size() <= b.buf.size());
+  std::copy(append_scratch_.begin(), append_scratch_.end(),
+            b.buf.begin() + b.used);
+  b.used += static_cast<uint32_t>(append_scratch_.size());
   ++chain->records;
   ++records_appended_;
-  bytes_appended_ += tmp.size();
+  bytes_appended_ += append_scratch_.size();
   if (m_records_ != nullptr) {
     m_records_->Add(1);
-    m_bytes_->Add(tmp.size());
+    m_bytes_->Add(append_scratch_.size());
   }
-  meter_->ChargeWrite(tmp.size());
+  meter_->ChargeWrite(append_scratch_.size());
   return Status::OK();
 }
 
@@ -84,13 +85,16 @@ Status StableLogBuffer::Append(uint64_t txn_id, const LogRecord& rec) {
   return AppendToChain(&chain, rec);
 }
 
-Status StableLogBuffer::Commit(uint64_t txn_id) {
+Status StableLogBuffer::Commit(uint64_t txn_id, uint32_t epoch,
+                               uint64_t csn) {
   MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
   auto it = uncommitted_.find(txn_id);
   if (it == uncommitted_.end()) {
     // Read-only transaction: nothing logged, commit is trivially done.
     return Status::OK();
   }
+  it->second.epoch = epoch;
+  it->second.csn = csn;
   committed_.push_back(std::move(it->second));
   uncommitted_.erase(it);
   return Status::OK();
@@ -137,14 +141,16 @@ void StableLogBuffer::Rewind(uint64_t txn_id, const ChainMark& mark) {
   if (chain.blocks.empty()) uncommitted_.erase(it);
 }
 
-bool StableLogBuffer::HasCommittedRecords() const {
+bool StableLogBuffer::HasCommittedRecords(uint32_t max_epoch) const {
+  // Epochs are monotone along the commit order, so the first chain with
+  // outstanding records decides visibility for the whole list.
   for (const Chain& c : committed_) {
-    if (c.records > 0) return true;
+    if (c.records > 0) return c.epoch <= max_epoch;
   }
   return false;
 }
 
-Result<LogRecord> StableLogBuffer::PopCommitted() {
+Result<LogRecord> StableLogBuffer::PopCommitted(uint32_t max_epoch) {
   while (!committed_.empty()) {
     Chain& chain = committed_.front();
     if (chain.blocks.empty() || chain.records == 0) {
@@ -152,6 +158,9 @@ Result<LogRecord> StableLogBuffer::PopCommitted() {
       committed_.pop_front();
       read_offset_ = 0;
       continue;
+    }
+    if (chain.epoch > max_epoch) {
+      return Status::NotFound("next committed record beyond epoch bound");
     }
     Block& b = chain.blocks.front();
     if (read_offset_ >= b.used) {
@@ -165,6 +174,8 @@ Result<LogRecord> StableLogBuffer::PopCommitted() {
                                             b.used - read_offset_));
     auto rec = LogRecord::Parse(&r);
     if (!rec.ok()) return rec.status();
+    rec.value().epoch = chain.epoch;
+    rec.value().csn = chain.csn;
     meter_->ChargeRead(r.pos());
     read_offset_ += r.pos();
     --chain.records;
@@ -176,6 +187,16 @@ Result<LogRecord> StableLogBuffer::PopCommitted() {
     return rec;
   }
   return Status::NotFound("no committed records");
+}
+
+void StableLogBuffer::DiscardCommittedAfter(uint32_t flushed_epoch) {
+  // Unacknowledged chains form a suffix of the committed list (epochs are
+  // monotone in commit order); pop them back to front.
+  while (!committed_.empty() && committed_.back().epoch > flushed_epoch) {
+    ReleaseChain(&committed_.back());
+    committed_.pop_back();
+  }
+  if (committed_.empty()) read_offset_ = 0;
 }
 
 bool StableLogBuffer::RequestCheckpoint(PartitionId pid,

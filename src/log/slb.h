@@ -93,8 +93,10 @@ class StableLogBuffer {
   Status Append(uint64_t txn_id, const LogRecord& rec);
 
   /// Moves the transaction's chain to the tail of the committed list.
-  /// Commit is instantaneous: records are already in stable memory.
-  Status Commit(uint64_t txn_id);
+  /// Commit is instantaneous: records are already in stable memory. In
+  /// partitioned-log mode the chain is stamped with its group-commit
+  /// epoch and commit sequence number (zero in single-stream mode).
+  Status Commit(uint64_t txn_id, uint32_t epoch = 0, uint64_t csn = 0);
 
   /// Discards the transaction's chain (abort).
   Status Discard(uint64_t txn_id);
@@ -118,11 +120,23 @@ class StableLogBuffer {
 
   // --- sort-side (recovery CPU) -------------------------------------------
 
-  bool HasCommittedRecords() const;
+  /// True when the next committed record (in commit order) is visible to
+  /// the sort process. `max_epoch` bounds visibility in partitioned-log
+  /// mode: chains stamped with a later epoch are not yet acknowledged as
+  /// durable by every stream and must stay in the buffer (epochs are
+  /// monotone along the committed list, so the bound is a prefix rule).
+  bool HasCommittedRecords(uint32_t max_epoch = UINT32_MAX) const;
 
-  /// Pops the next committed record, in commit order. Frees fully
-  /// consumed blocks back to the stable-memory budget.
-  Result<LogRecord> PopCommitted();
+  /// Pops the next committed record, in commit order, subject to the
+  /// same epoch bound. Frees fully consumed blocks back to the
+  /// stable-memory budget. The record carries its chain's epoch/csn.
+  Result<LogRecord> PopCommitted(uint32_t max_epoch = UINT32_MAX);
+
+  /// Crash semantics for partitioned-log mode: committed chains whose
+  /// epoch was not yet persisted by this chain's stream (`epoch >
+  /// flushed`) lose their committed status — the group-commit rule never
+  /// acknowledged them. Their blocks are released.
+  void DiscardCommittedAfter(uint32_t flushed_epoch);
 
   // --- communication buffer ------------------------------------------------
 
@@ -171,6 +185,9 @@ class StableLogBuffer {
     uint64_t txn_id = 0;
     std::deque<Block> blocks;
     uint64_t records = 0;
+    /// Group-commit stamp (partitioned-log mode; zero otherwise).
+    uint32_t epoch = 0;
+    uint64_t csn = 0;
   };
 
   Status AppendToChain(Chain* chain, const LogRecord& rec);
@@ -187,6 +204,9 @@ class StableLogBuffer {
   std::list<CheckpointRequest> requests_;
   std::vector<uint8_t> catalog_root_;
   uint64_t max_txn_id_ = 0;
+  /// Reused serialization scratch for AppendToChain (hot path: one append
+  /// per log record; keeping the buffer avoids a per-record allocation).
+  std::vector<uint8_t> append_scratch_;
 
   uint64_t records_appended_ = 0;
   uint64_t bytes_appended_ = 0;

@@ -13,14 +13,18 @@ Status Checkpointer::Poll() {
   // mutates the queue (finished entries are removed).
   for (int guard = 0; guard < 1 << 20; ++guard) {
     CheckpointRequest* next = nullptr;
-    for (CheckpointRequest& r : db.slb_->checkpoint_requests()) {
-      if (r.state == CheckpointState::kRequest) {
-        next = &r;
-        break;
+    uint32_t stream = 0;
+    for (uint32_t s = 0; s < db.log_streams() && next == nullptr; ++s) {
+      for (CheckpointRequest& r : db.slb_at(s)->checkpoint_requests()) {
+        if (r.state == CheckpointState::kRequest) {
+          next = &r;
+          stream = s;
+          break;
+        }
       }
     }
     if (next == nullptr) return Status::OK();
-    Status st = RunOne(next);
+    Status st = RunOne(next, stream);
     if (st.IsBusy() || st.IsNotResident()) {
       // Cannot run now (lock conflict / partition not in memory): leave
       // queued and stop; the next Poll retries.
@@ -31,7 +35,7 @@ Status Checkpointer::Poll() {
   return Status::Corruption("checkpoint queue did not drain");
 }
 
-Status Checkpointer::RunOne(CheckpointRequest* req) {
+Status Checkpointer::RunOne(CheckpointRequest* req, uint32_t stream) {
   Database& db = *db_;
   PartitionId pid = req->partition;
   bool is_catalog = pid.segment == db.v_->catalog_segment;
@@ -53,7 +57,7 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
   if (d == nullptr) {
     // The partition was dropped since the request: nothing to do.
     req->state = CheckpointState::kFinished;
-    db.slb_->ClearFinished(pid);
+    db.slb_at(stream)->ClearFinished(pid);
     return Status::OK();
   }
 
@@ -80,8 +84,10 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
   req->state = CheckpointState::kInProgress;
 
   // Let the sort process catch up so the bin cut matches the image: every
-  // record of transactions committed before the lock is in the bin.
-  MMDB_RETURN_IF_ERROR(db.recovery_->Drain(db.clock_.now_ns()));
+  // record of transactions committed before the lock is in its bin. In
+  // partitioned-log mode a partition's records are spread across every
+  // stream, so all of them must be fenced and drained before the copy.
+  MMDB_RETURN_IF_ERROR(db.DrainAllStreams(db.clock_.now_ns()));
 
   // Step 4: copy the partition at memory speed, then release the lock.
   std::vector<uint8_t> image = p->image();
@@ -194,10 +200,12 @@ Status Checkpointer::RunOne(CheckpointRequest* req) {
       MMDB_RETURN_IF_ERROR(db.WriteCatalogRootBlock());
     }
     req->state = CheckpointState::kFinished;
-    MMDB_RETURN_IF_ERROR(
-        db.recovery_->OnCheckpointFinished(bin_index, db.clock_.now_ns()));
+    for (uint32_t s = 0; s < db.log_streams(); ++s) {
+      MMDB_RETURN_IF_ERROR(db.recovery_at(s)->OnCheckpointFinished(
+          bin_index, db.clock_.now_ns()));
+    }
     trigger = req->trigger;
-    db.slb_->ClearFinished(pid);  // `req` is dangling after this line
+    db.slb_at(stream)->ClearFinished(pid);  // `req` dangles after this line
     req = nullptr;
   }
   MMDB_RETURN_IF_ERROR(fault::Barrier(db.fault_.get()));

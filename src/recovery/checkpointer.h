@@ -43,7 +43,11 @@ class Checkpointer {
   uint64_t completed_forced() const { return completed_forced_; }
 
  private:
-  Status RunOne(CheckpointRequest* req);
+  /// Runs one request from `stream`'s SLB queue. In partitioned-log mode
+  /// a partition's records are spread across every stream, so the bin
+  /// flush/reset covers all streams while the finished request is cleared
+  /// from the owning stream's queue only.
+  Status RunOne(CheckpointRequest* req, uint32_t stream);
 
   Database* db_;
   uint64_t completed_ = 0;

@@ -35,14 +35,15 @@ void RecoveryManager::UpdateWindowSlack() {
                                        : 0.0);
 }
 
-Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns) {
+Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns,
+                                       uint32_t max_epoch) {
   uint64_t n = 0;
-  while (n < max_records && slb_->HasCommittedRecords()) {
+  while (n < max_records && slb_->HasCommittedRecords(max_epoch)) {
     MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
     // Pop + bin-append are one atomic stable transition: the record is
     // released from the SLB only once it is safely binned.
     fault::AtomicSection atomic(fault_);
-    auto rec = slb_->PopCommitted();
+    auto rec = slb_->PopCommitted(max_epoch);
     if (!rec.ok()) return rec.status();
     MMDB_RETURN_IF_ERROR(SortOne(rec.value(), now_ns));
     ++n;
@@ -50,11 +51,11 @@ Result<uint64_t> RecoveryManager::Pump(uint64_t max_records, uint64_t now_ns) {
   return n;
 }
 
-Status RecoveryManager::Drain(uint64_t now_ns) {
-  while (slb_->HasCommittedRecords()) {
+Status RecoveryManager::Drain(uint64_t now_ns, uint32_t max_epoch) {
+  while (slb_->HasCommittedRecords(max_epoch)) {
     MMDB_RETURN_IF_ERROR(fault::Barrier(fault_));
     fault::AtomicSection atomic(fault_);
-    auto rec = slb_->PopCommitted();
+    auto rec = slb_->PopCommitted(max_epoch);
     if (!rec.ok()) return rec.status();
     MMDB_RETURN_IF_ERROR(SortOne(rec.value(), now_ns));
   }
@@ -80,8 +81,10 @@ Status RecoveryManager::SortOne(const LogRecord& rec, uint64_t now_ns) {
 
   // Serialize into the reusable scratch buffer: the sort process runs
   // once per logged record, so a fresh vector here is a heap
-  // allocation per record.
+  // allocation per record. Multi-stream bins carry the epoch frame so
+  // restart can merge streams in group-commit order.
   sort_scratch_.clear();
+  if (config_.epoch_framing) rec.AppendEpochFrame(&sort_scratch_);
   rec.AppendTo(&sort_scratch_);
   MMDB_RETURN_IF_ERROR(slt_->AppendToActivePage(rec.bin_index, sort_scratch_));
 

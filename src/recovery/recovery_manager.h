@@ -37,6 +37,11 @@ class RecoveryManager {
     analysis::Table2 costs;
     /// Update-count checkpoint threshold (Table 2's N_update).
     uint64_t n_update = 1000;
+    /// Partitioned-log mode (log_streams > 1): every record sorted into
+    /// a bin is framed with its [epoch | csn] prefix so cross-stream
+    /// recovery can merge bins in group-commit order. Off by default —
+    /// the single-stream stream format stays byte-identical.
+    bool epoch_framing = false;
   };
 
   RecoveryManager(Config config, StableLogBuffer* slb, StableLogTail* slt,
@@ -59,11 +64,15 @@ class RecoveryManager {
 
   /// Sorts up to `max_records` committed records into partition bins,
   /// flushing full pages and raising checkpoint requests. Returns the
-  /// number of records processed.
-  Result<uint64_t> Pump(uint64_t max_records, uint64_t now_ns);
+  /// number of records processed. `max_epoch` bounds consumption in
+  /// partitioned-log mode: records of epochs not yet acknowledged durable
+  /// on every stream stay in the SLB (so nothing binned or on disk ever
+  /// needs discarding at a crash).
+  Result<uint64_t> Pump(uint64_t max_records, uint64_t now_ns,
+                        uint32_t max_epoch = UINT32_MAX);
 
-  /// Pumps until the committed list is empty.
-  Status Drain(uint64_t now_ns);
+  /// Pumps until the committed list (up to `max_epoch`) is empty.
+  Status Drain(uint64_t now_ns, uint32_t max_epoch = UINT32_MAX);
 
   /// Handles a finished checkpoint for `bin_index` (paper §2.4 step 7):
   /// the partition's remaining log records are combined with other

@@ -60,10 +60,26 @@ Status RestartManager::Restart(RestartReport* report) {
   uint64_t t_start = db.clock_.now_ns();
 
   // Any records of transactions that committed before the crash but were
-  // not yet sorted are still in the (stable) SLB: sort them into their
-  // bins first, so every bin is complete.
-  MMDB_RETURN_IF_ERROR(db.recovery_->Drain(db.clock_.now_ns()));
-  db.recovery_->RebuildFirstLsnList();
+  // not yet sorted are still in the (stable) SLBs: sort them into their
+  // bins first, so every bin is complete. In partitioned-log mode the
+  // epoch frontier is the discard frontier Crash() latched into the
+  // stable restart record; everything stamped past it is already gone on
+  // every stream, so draining each stream to its own marker empties the
+  // SLBs. No fence here, and no recomputation from the markers: a crash
+  // inside a previous attempt's end fence leaves the markers partially
+  // advanced, and retries must keep reporting the original frontier.
+  if (!db.extra_streams_.empty()) {
+    report->epoch_frontier =
+        db.epoch_discard_frontier_ != UINT32_MAX
+            ? db.epoch_discard_frontier_
+            : *std::min_element(db.epoch_flushed_.begin(),
+                                db.epoch_flushed_.end());
+  }
+  for (uint32_t s = 0; s < db.log_streams(); ++s) {
+    MMDB_RETURN_IF_ERROR(
+        db.recovery_at(s)->Drain(db.clock_.now_ns(), db.PumpBound(s)));
+    db.recovery_at(s)->RebuildFirstLsnList();
+  }
 
   // Read the catalog root from its well-known stable location; it is
   // stored twice (SLB + SLT) for reliability.
@@ -159,7 +175,11 @@ Status RestartManager::Restart(RestartReport* report) {
       }
     }
   }
-  db.v_->txns.SeedNextId(db.slb_->max_txn_id() + 1);
+  uint64_t max_txn = db.slb_->max_txn_id();
+  for (const auto& ls : db.extra_streams_) {
+    max_txn = std::max(max_txn, ls->slb->max_txn_id());
+  }
+  db.v_->txns.SeedNextId(max_txn + 1);
 
   report->catalog_ms =
       static_cast<double>(db.clock_.now_ns() - t_start) * 1e-6;
@@ -173,6 +193,13 @@ Status RestartManager::Restart(RestartReport* report) {
       MMDB_RETURN_IF_ERROR(db.BackgroundRecoveryStep(&done, report));
     }
   }
+  // Restart succeeded: advance every stream's marker to the stamp
+  // high-water so the survivors' epochs are uniformly acknowledged, then
+  // retire the latched discard frontier. (A crash inside this fence
+  // retries the whole restart with the frontier still latched, so a
+  // partially-advanced marker set cannot inflate the reported frontier.)
+  MMDB_RETURN_IF_ERROR(db.FenceEpochs());
+  db.epoch_discard_frontier_ = UINT32_MAX;
   report->total_ms = static_cast<double>(db.clock_.now_ns() - t_start) * 1e-6;
   return Status::OK();
 }

@@ -226,6 +226,10 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
   MMDB_RETURN_IF_ERROR(st);
   result.outcome = ScriptOutcome::kCommitted;
   result.commit_ns = lane.cpu->busy_until_ns();
+  // Partitioned-log mode: the commit's group-commit stamp (zeros with a
+  // single stream).
+  result.commit_epoch = db_->last_commit_epoch();
+  result.commit_csn = db_->last_commit_csn();
   commit_order_.push_back(txn_id);
   lane.script = -1;
   ResetForRetry(&lane);
@@ -281,6 +285,10 @@ Status ConcurrentExecutor::Run() {
     m_worker_busy_ns_->Record(l.cpu->total_instructions() *
                               l.cpu->ns_per_instruction());
   }
+  // Partitioned-log mode: the batch's trailing commits may still sit in
+  // an unfenced epoch; fence so every committed script is durable when
+  // the caller inspects results. (No-op with a single stream.)
+  MMDB_RETURN_IF_ERROR(db_->FenceEpochs());
   return Status::OK();
 }
 

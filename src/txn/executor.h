@@ -40,6 +40,10 @@ struct ScriptResult {
   /// The script's Commit returned the injected-crash fault: the classic
   /// in-doubt transaction (durable iff its SLB commit beat the crash).
   bool commit_faulted = false;
+  /// Partitioned-log mode: the commit's group-commit stamp, sampled right
+  /// after a successful Commit (zeros with a single log stream).
+  uint32_t commit_epoch = 0;
+  uint64_t commit_csn = 0;
   /// Non-deadlock failure that aborted the script (OK otherwise).
   Status error = Status::OK();
 };

@@ -70,6 +70,12 @@ class Transaction {
   uint64_t begin_ns() const { return begin_ns_; }
   void set_begin_ns(uint64_t ns) { begin_ns_ = ns; }
 
+  /// Log stream this transaction's REDO records are routed to
+  /// (partitioned-log mode; always 0 with a single stream). Assigned at
+  /// Begin and fixed for the transaction's lifetime.
+  uint32_t log_stream() const { return log_stream_; }
+  void set_log_stream(uint32_t s) { log_stream_ = s; }
+
  private:
   uint64_t id_;
   TxnKind kind_;
@@ -77,6 +83,7 @@ class Transaction {
   uint64_t redo_records_ = 0;
   uint64_t redo_bytes_ = 0;
   uint64_t begin_ns_ = 0;
+  uint32_t log_stream_ = 0;
 };
 
 /// Issues transaction ids and tracks active transactions. Ids never

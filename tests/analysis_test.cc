@@ -111,6 +111,24 @@ TEST(RecoveryModelTest, TimeToFirstTransactionMuchLessThanFullReload) {
   EXPECT_LT(first_txn * 20, reload);  // orders of magnitude sooner
 }
 
+TEST(RecoveryModelTest, StreamParallelReplayLowersDeviceFloor) {
+  RecoveryModel m;
+  // Log-bound configuration: enough log per partition that the duplexed
+  // pair, not the checkpoint disk, is the device floor.
+  double one = m.ParallelRecoveryMs(200, 4, 30);
+  double two = m.ParallelRecoveryMs(200, 4, 30, 2);
+  double four = m.ParallelRecoveryMs(200, 4, 30, 4);
+  EXPECT_LT(two, one);
+  EXPECT_LT(four, two);
+  // Defaulted streams argument is the exact single-stream model.
+  EXPECT_DOUBLE_EQ(one, m.ParallelRecoveryMs(200, 4, 30, 1));
+  // The merge is not free: with the device floor already at the image
+  // read, extra streams only add per-record merge CPU.
+  double image_bound1 = m.ParallelRecoveryMs(200, 4, 0.5);
+  double image_bound8 = m.ParallelRecoveryMs(200, 4, 0.5, 8);
+  EXPECT_GE(image_bound8, image_bound1);
+}
+
 TEST(RecoveryModelTest, ReloadDominatedByVolume) {
   RecoveryModel m;
   double small = m.DatabaseReloadMs(100, 300);

@@ -31,10 +31,13 @@ struct ConcurrencyWorkload {
   }
 
   /// Builds the database and populates kRows rows (id, id * 100).
-  Status Setup(uint32_t workers, bool trace = false) {
+  /// `streams` selects partitioned parallel logging (1 = the legacy
+  /// single-stream design).
+  Status Setup(uint32_t workers, bool trace = false, uint32_t streams = 1) {
     DatabaseOptions o;
     o.txn_workers = workers;
     o.enable_tracing = trace;
+    o.log_streams = streams;
     db = std::make_unique<Database>(o);
     MMDB_RETURN_IF_ERROR(db->CreateRelation("r", RowSchema()));
     auto t = db->Begin();

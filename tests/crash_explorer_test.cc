@@ -88,6 +88,32 @@ TEST(CrashExplorerTest, ConcurrentWorkloadSurvivesEveryCrashPoint) {
       << "seed " << opts.seed << " workers=4 violations:" << all;
 }
 
+TEST(CrashExplorerTest, PartitionedLogSurvivesEveryCrashPoint) {
+  // Partitioned parallel logging under the concurrent workload: four
+  // workers routed across four log streams with epoch group commit. The
+  // sweep lands crashes at every site — including between the per-stream
+  // epoch-fence writes, the group-commit window where an epoch is
+  // acknowledged on a prefix of the streams only. The durability check
+  // folds the epoch ledger against the restart's reported frontier, so
+  // any stream keeping a discarded epoch (or dropping a fenced one)
+  // shows up as a violation.
+  ExplorerOptions opts;
+  opts.seed = SeedFromEnv();
+  opts.txn_workers = 4;
+  opts.log_streams = 4;
+  opts.max_points_per_site = 12;  // trimmed per-site: still every site
+  CrashExplorer explorer(opts);
+  ExplorerReport report;
+  ASSERT_OK(explorer.Run(&report));
+
+  EXPECT_GT(report.points_explored, 0u);
+  EXPECT_GT(report.crashes_delivered, 0u);
+  std::string all;
+  for (const std::string& f : report.failures) all += "\n  " + f;
+  EXPECT_EQ(report.violations, 0u)
+      << "seed " << opts.seed << " workers=4 streams=4 violations:" << all;
+}
+
 TEST(CrashExplorerTest, SinglePointIsReproducible) {
   // The repro path printed in a failure line: re-run one (site, visit)
   // pair under the same seed.

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "concurrency_workload.h"
+#include "core/database.h"
+#include "obs/export.h"
+#include "test_util.h"
+#include "txn/executor.h"
+
+namespace mmdb {
+namespace {
+
+using testing::ConcurrencyWorkload;
+
+struct RunFingerprint {
+  std::vector<uint64_t> commit_order;
+  std::vector<ScriptResult> results;
+  uint64_t completion_ns = 0;
+  uint64_t waits = 0;
+  uint64_t deadlocks = 0;
+  std::map<int64_t, int64_t> rows;
+  std::string metrics_json;
+};
+
+Status RunOnce(uint64_t seed, uint32_t workers, uint32_t streams,
+               RunFingerprint* out) {
+  ConcurrencyWorkload w;
+  MMDB_RETURN_IF_ERROR(w.Setup(workers, /*trace=*/false, streams));
+  ConcurrentExecutor ex(w.db.get());
+  for (TxnScript& s : w.MakeScripts(seed)) ex.Submit(std::move(s));
+  MMDB_RETURN_IF_ERROR(ex.Run());
+  out->commit_order = ex.commit_order();
+  out->results = ex.results();
+  out->completion_ns = ex.completion_ns();
+  out->waits = ex.waits();
+  out->deadlocks = ex.deadlocks();
+  auto rows = w.LogicalRows();
+  MMDB_RETURN_IF_ERROR(rows.status());
+  out->rows = rows.value();
+  out->metrics_json = obs::RegistryToJsonValue(w.db->metrics()).Dump();
+  return Status::OK();
+}
+
+/// Same seed + same worker count + same stream count => byte-identical
+/// runs. Partitioned logging adds per-stream devices and epoch fences to
+/// the schedule; none of it may introduce nondeterminism.
+TEST(LogStreamsTest, IdenticalMultiStreamRunsAreByteIdentical) {
+  RunFingerprint a, b;
+  ASSERT_OK(RunOnce(7, /*workers=*/4, /*streams=*/4, &a));
+  ASSERT_OK(RunOnce(7, /*workers=*/4, /*streams=*/4, &b));
+  EXPECT_EQ(a.commit_order, b.commit_order);
+  EXPECT_EQ(a.completion_ns, b.completion_ns);
+  EXPECT_EQ(a.waits, b.waits);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].commit_epoch, b.results[i].commit_epoch);
+    EXPECT_EQ(a.results[i].commit_csn, b.results[i].commit_csn);
+  }
+}
+
+/// log_streams=1 is the exact-parity ablation: it must reproduce the
+/// legacy single-stream schedule byte for byte (no epoch framing, no
+/// fences, no gate changes).
+TEST(LogStreamsTest, SingleStreamMatchesLegacyExactly) {
+  // Legacy path: Setup without the streams parameter.
+  RunFingerprint legacy;
+  {
+    ConcurrencyWorkload w;
+    ASSERT_OK(w.Setup(/*workers=*/4));
+    ConcurrentExecutor ex(w.db.get());
+    for (TxnScript& s : w.MakeScripts(7)) ex.Submit(std::move(s));
+    ASSERT_OK(ex.Run());
+    legacy.commit_order = ex.commit_order();
+    legacy.completion_ns = ex.completion_ns();
+    legacy.waits = ex.waits();
+    legacy.deadlocks = ex.deadlocks();
+    auto rows = w.LogicalRows();
+    ASSERT_OK(rows.status());
+    legacy.rows = rows.value();
+    legacy.metrics_json = obs::RegistryToJsonValue(w.db->metrics()).Dump();
+  }
+  RunFingerprint one;
+  ASSERT_OK(RunOnce(7, /*workers=*/4, /*streams=*/1, &one));
+  EXPECT_EQ(legacy.commit_order, one.commit_order);
+  EXPECT_EQ(legacy.completion_ns, one.completion_ns);
+  EXPECT_EQ(legacy.waits, one.waits);
+  EXPECT_EQ(legacy.deadlocks, one.deadlocks);
+  EXPECT_EQ(legacy.rows, one.rows);
+  EXPECT_EQ(legacy.metrics_json, one.metrics_json);
+  // Single-stream commits carry no group-commit stamp.
+  for (const ScriptResult& r : one.results) {
+    if (r.outcome == ScriptOutcome::kCommitted) {
+      EXPECT_EQ(r.commit_epoch, 0u);
+      EXPECT_EQ(r.commit_csn, 0u);
+    }
+  }
+}
+
+/// Serializability of commit visibility under partitioned logging:
+/// (epoch, csn) stamps are assigned at the commit point under the global
+/// scheduler, so sorting committed transactions by their stamp must
+/// reproduce the executor's commit order exactly — the group-commit
+/// batching may delay durability, but never reorders visibility against
+/// the conflict (commit) order.
+TEST(LogStreamsTest, EpochOrderMatchesCommitOrder) {
+  RunFingerprint f;
+  ASSERT_OK(RunOnce(11, /*workers=*/8, /*streams=*/4, &f));
+  ASSERT_FALSE(f.commit_order.empty());
+
+  // Map committed txn id -> stamp.
+  std::map<uint64_t, std::pair<uint32_t, uint64_t>> stamp;
+  for (const ScriptResult& r : f.results) {
+    if (r.outcome != ScriptOutcome::kCommitted) continue;
+    EXPECT_GT(r.commit_epoch, 0u);
+    EXPECT_GT(r.commit_csn, 0u);
+    stamp[r.txn_id] = {r.commit_epoch, r.commit_csn};
+  }
+  ASSERT_EQ(stamp.size(), f.commit_order.size());
+
+  // Along commit order: epochs nondecreasing, csns strictly increasing.
+  for (size_t i = 1; i < f.commit_order.size(); ++i) {
+    auto prev = stamp.at(f.commit_order[i - 1]);
+    auto cur = stamp.at(f.commit_order[i]);
+    EXPECT_LE(prev.first, cur.first)
+        << "epoch regressed at commit index " << i;
+    EXPECT_LT(prev.second, cur.second)
+        << "csn not strictly increasing at commit index " << i;
+  }
+
+  // Sorting by (epoch, csn) reproduces commit order exactly.
+  std::vector<uint64_t> by_stamp = f.commit_order;
+  std::sort(by_stamp.begin(), by_stamp.end(),
+            [&](uint64_t x, uint64_t y) { return stamp.at(x) < stamp.at(y); });
+  EXPECT_EQ(by_stamp, f.commit_order);
+}
+
+/// Crash + restart with four streams: ConcurrentExecutor::Run fences all
+/// epochs on completion, so every committed script is durable; restart
+/// merges the per-stream bins by (epoch, csn) and must rebuild the same
+/// logical table.
+TEST(LogStreamsTest, MultiStreamCrashRestartPreservesCommittedState) {
+  ConcurrencyWorkload w;
+  ASSERT_OK(w.Setup(/*workers=*/4, /*trace=*/false, /*streams=*/4));
+  ConcurrentExecutor ex(w.db.get());
+  for (TxnScript& s : w.MakeScripts(7)) ex.Submit(std::move(s));
+  ASSERT_OK(ex.Run());
+  auto before = w.LogicalRows();
+  ASSERT_OK(before.status());
+
+  w.db->Crash();
+  ASSERT_OK(w.db->Restart());
+
+  auto after = w.LogicalRows();
+  ASSERT_OK(after.status());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+}  // namespace
+}  // namespace mmdb
