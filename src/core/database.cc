@@ -139,6 +139,14 @@ void Database::AttachStableObservers() {
   m_restart_total_ns_ = metrics_.histogram("restart.total_ns");
   m_restart_catalog_ns_ = metrics_.histogram("restart.catalog_ns");
   m_lane_busy_ns_ = metrics_.histogram("recovery.lane_busy_ns");
+  // Throughput-over-time curves: stable scope, so the series span the
+  // crash and the recovery shape is visible in one export.
+  m_commit_series_ =
+      metrics_.counter_series("txn.commit_rate", opts_.telemetry_bucket_ns);
+  m_abort_series_ =
+      metrics_.counter_series("txn.abort_rate", opts_.telemetry_bucket_ns);
+  recovery_progress_.AttachMetrics(&metrics_, opts_.telemetry_bucket_ns);
+  recovery_progress_.AttachTracer(&tracer_);
 }
 
 void Database::AttachVolatileObservers() {
@@ -590,6 +598,11 @@ Result<Partition*> Database::ResidentPartition(PartitionId pid) {
   ++on_demand_recoveries_;
   m_ondemand_count_->Add(1);
   m_ondemand_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
+  if (pid.segment != v_->catalog_segment) {
+    recovery_progress_.OnPartitionsRecovered(RecoverySource::kOnDemand, 1,
+                                             scratch.records_applied,
+                                             clock_.now_ns());
+  }
   obs::Track track = ctx != nullptr ? obs::WorkerTrack(ctx->worker)
                                     : obs::Track::kMainCpu;
   tracer_.Span(track, "recovery", "on-demand " + pid.ToString(), start_ns,
@@ -666,6 +679,9 @@ Result<Partition*> Database::CreatePartitionInSegment(SegmentId segment) {
     return st;
   }
   MMDB_RETURN_IF_ERROR(Commit(txn.value()));
+  // Mid-recovery DDL: the new partition is born resident, so it grows
+  // numerator and denominator of the ready fraction together.
+  recovery_progress_.OnPartitionCreated(clock_.now_ns());
   return p;
 }
 
@@ -1229,8 +1245,20 @@ Status Database::Commit(Transaction* txn) {
     obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
                                         : obs::Track::kMainCpu;
     m_txn_latency_ns_->Record(static_cast<double>(vnow() - begin_ns));
+    m_commit_series_->Add(vnow());
     tracer_.Span(track, "txn", "txn " + std::to_string(id), begin_ns,
                  vnow() - begin_ns);
+    if (tracer_.enabled()) {
+      // Counter tracks: Perfetto renders these as stepped curves next to
+      // the swimlanes. Sampled at commit points — the natural cadence of
+      // the simulation's observable state.
+      tracer_.Counter(obs::Track::kSystem, "gauge", "slb.occupancy_bytes",
+                      vnow(),
+                      static_cast<double>(slb_at(txn->log_stream())
+                                              ->occupancy_bytes()));
+      tracer_.Counter(obs::Track::kSystem, "gauge", "lock.wait_queue_depth",
+                      vnow(), static_cast<double>(v_->locks.waiting_count()));
+    }
   }
   if (opts_.audit_logging && kind == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
@@ -1299,6 +1327,7 @@ Status Database::Abort(Transaction* txn) {
   if (kind == TxnKind::kUser) {
     obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
                                         : obs::Track::kMainCpu;
+    m_abort_series_->Add(vnow());
     tracer_.Span(track, "txn", "txn " + std::to_string(id) + " (abort)",
                  txn->begin_ns(), vnow() - txn->begin_ns());
   }
@@ -1655,6 +1684,7 @@ void Database::Crash() {
   // table / txn manager get fresh handle hookups.
   metrics_.ResetVolatile();
   AttachVolatileObservers();
+  recovery_progress_.OnCrash(clock_.now_ns());
   tracer_.Instant(obs::Track::kSystem, "lifecycle", "crash", clock_.now_ns());
   MMDB_LOG(INFO, "crash at %llu vns: volatile store and metrics dropped",
            static_cast<unsigned long long>(clock_.now_ns()));
@@ -1706,7 +1736,12 @@ Status Database::RecoverRelation(const std::string& relation) {
   }
   if (work.empty()) return Status::OK();
   RestartReport scratch;
-  return RecoverPartitionsParallel(work, &scratch);
+  MMDB_RETURN_IF_ERROR(RecoverPartitionsParallel(work, &scratch));
+  recovery_progress_.OnPartitionsRecovered(RecoverySource::kBackground,
+                                           work.size(),
+                                           scratch.records_applied,
+                                           clock_.now_ns());
+  return Status::OK();
 }
 
 Status Database::BackgroundRecoveryStep(bool* done, RestartReport* report) {
@@ -1761,10 +1796,14 @@ Status Database::BackgroundRecoveryStep(bool* done, RestartReport* report) {
   *done = false;
   uint64_t start_ns = clock_.now_ns();
   RestartReport scratch;
-  MMDB_RETURN_IF_ERROR(
-      RecoverPartitionsParallel(work, report != nullptr ? report : &scratch));
+  RestartReport* target = report != nullptr ? report : &scratch;
+  uint64_t records_before = target->records_applied;
+  MMDB_RETURN_IF_ERROR(RecoverPartitionsParallel(work, target));
   background_recoveries_ += work.size();
   m_background_count_->Add(work.size());
+  recovery_progress_.OnPartitionsRecovered(
+      RecoverySource::kBackground, work.size(),
+      target->records_applied - records_before, clock_.now_ns());
   m_background_ns_->Record(static_cast<double>(clock_.now_ns() - start_ns));
   tracer_.Span(obs::Track::kMainCpu, "recovery",
                "background batch (" + std::to_string(work.size()) + ")",

@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "recovery/archive.h"
+#include "recovery/progress.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/resilver.h"
 #include "sim/clock.h"
@@ -141,6 +142,12 @@ struct DatabaseOptions {
   /// a disabled tracer costs one branch per site and never perturbs
   /// virtual time either way.
   bool enable_tracing = false;
+
+  /// Window width of the built-in time series (txn.commit_rate /
+  /// txn.abort_rate counter curves, recovery.ready_fraction gauge
+  /// curve). 1 virtual ms by default — the bucket granularity of the
+  /// throughput-over-time recovery curves.
+  uint64_t telemetry_bucket_ns = 1'000'000;
 
   uint16_t ttree_node_capacity = TTree::kDefaultNodeCapacity;
   uint32_t hash_initial_buckets = 8;
@@ -380,6 +387,14 @@ class Database {
 
   // --- introspection ----------------------------------------------------------
   uint64_t now_ns() const { return clock_.now_ns(); }
+  /// Advances the global clock (and the main CPU behind it) to `t_ns`;
+  /// no-op when `t_ns` is in the past. Rigs that run successive
+  /// concurrent-executor waves use this to move the clock past the last
+  /// wave's completion so the next wave's timelines don't overlap it.
+  void AdvanceClockTo(uint64_t t_ns) {
+    clock_.AdvanceTo(t_ns);
+    main_cpu_.IdleUntil(clock_.now_ns());
+  }
   /// True between Crash() and a successful Restart().
   bool crashed() const { return crashed_; }
   double now_ms() const { return clock_.now_seconds() * 1e3; }
@@ -406,6 +421,11 @@ class Database {
   const obs::Tracer& tracer() const { return tracer_; }
   DatabaseStats GetStats() const;
   const RestartReport& last_restart() const { return last_restart_; }
+  /// Partition-by-partition recovery progress (ready fraction, source
+  /// attribution); feeds the recovery.* metrics and counter-track events.
+  const RecoveryProgressTracker& recovery_progress() const {
+    return recovery_progress_;
+  }
 
  private:
   friend class Checkpointer;
@@ -685,6 +705,12 @@ class Database {
   /// One sample per lane per parallel-recovery batch: that lane's busy
   /// (servicing, not waiting) virtual ns.
   obs::Histogram* m_lane_busy_ns_ = nullptr;
+  /// Commit/abort throughput curves (stable: they must span the crash).
+  obs::CounterSeries* m_commit_series_ = nullptr;
+  obs::CounterSeries* m_abort_series_ = nullptr;
+
+  /// Recovery-progress observability (stable, like the store it tracks).
+  RecoveryProgressTracker recovery_progress_;
 };
 
 /// EntityStore adapter binding a transaction to the database's logged

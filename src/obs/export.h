@@ -11,7 +11,12 @@ namespace mmdb::obs {
 
 /// Serializes a registry as a JSON object:
 ///   {"counters": {...}, "gauges": {...},
-///    "histograms": {"name": {count,sum,mean,min,max,p50,p95,p99}}}
+///    "histograms": {"name": {count,sum,mean,min,max,p50,p95,p99}},
+///    "sketches": {"name": {count,mean,min,max,p50,p95,p99,p999}},
+///    "series": {"name": {kind,bucket_ns,points:[[bucket_idx,...],...]}}}
+/// Series points are sparse (empty windows omitted) and sorted by bucket
+/// index; counter points carry [idx,count], gauge points
+/// [idx,last,min,max], sketch points [idx,count,p50,p95,p99].
 JsonValue RegistryToJsonValue(const MetricsRegistry& reg);
 
 /// Writes RegistryToJsonValue(reg) to `path`.

@@ -94,6 +94,45 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   return it->second.metric.get();
 }
 
+LogSketch* MetricsRegistry::sketch(const std::string& name, Scope scope) {
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(name, SketchEntry{std::make_unique<LogSketch>(), scope})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+template <typename Series>
+Series* MetricsRegistry::GetSeries(
+    std::map<std::string, SeriesEntry<Series>>* store, const std::string& name,
+    uint64_t bucket_ns, Scope scope) {
+  auto it = store->find(name);
+  if (it == store->end()) {
+    it = store
+             ->emplace(name, SeriesEntry<Series>{
+                                 std::make_unique<Series>(bucket_ns), scope})
+             .first;
+  }
+  return it->second.metric.get();
+}
+
+CounterSeries* MetricsRegistry::counter_series(const std::string& name,
+                                               uint64_t bucket_ns,
+                                               Scope scope) {
+  return GetSeries(&counter_series_, name, bucket_ns, scope);
+}
+
+GaugeSeries* MetricsRegistry::gauge_series(const std::string& name,
+                                           uint64_t bucket_ns, Scope scope) {
+  return GetSeries(&gauge_series_, name, bucket_ns, scope);
+}
+
+SketchSeries* MetricsRegistry::sketch_series(const std::string& name,
+                                             uint64_t bucket_ns, Scope scope) {
+  return GetSeries(&sketch_series_, name, bucket_ns, scope);
+}
+
 uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.metric.value();
@@ -110,6 +149,29 @@ const Histogram* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : it->second.metric.get();
 }
 
+const LogSketch* MetricsRegistry::find_sketch(const std::string& name) const {
+  auto it = sketches_.find(name);
+  return it == sketches_.end() ? nullptr : it->second.metric.get();
+}
+
+const CounterSeries* MetricsRegistry::find_counter_series(
+    const std::string& name) const {
+  auto it = counter_series_.find(name);
+  return it == counter_series_.end() ? nullptr : it->second.metric.get();
+}
+
+const GaugeSeries* MetricsRegistry::find_gauge_series(
+    const std::string& name) const {
+  auto it = gauge_series_.find(name);
+  return it == gauge_series_.end() ? nullptr : it->second.metric.get();
+}
+
+const SketchSeries* MetricsRegistry::find_sketch_series(
+    const std::string& name) const {
+  auto it = sketch_series_.find(name);
+  return it == sketch_series_.end() ? nullptr : it->second.metric.get();
+}
+
 void MetricsRegistry::ResetVolatile() {
   for (auto& [_, e] : counters_) {
     if (e.scope == Scope::kVolatile) e.metric.Reset();
@@ -120,12 +182,28 @@ void MetricsRegistry::ResetVolatile() {
   for (auto& [_, e] : histograms_) {
     if (e.scope == Scope::kVolatile) e.metric->Reset();
   }
+  for (auto& [_, e] : sketches_) {
+    if (e.scope == Scope::kVolatile) e.metric->Reset();
+  }
+  for (auto& [_, e] : counter_series_) {
+    if (e.scope == Scope::kVolatile) e.metric->Reset();
+  }
+  for (auto& [_, e] : gauge_series_) {
+    if (e.scope == Scope::kVolatile) e.metric->Reset();
+  }
+  for (auto& [_, e] : sketch_series_) {
+    if (e.scope == Scope::kVolatile) e.metric->Reset();
+  }
 }
 
 void MetricsRegistry::ResetAll() {
   for (auto& [_, e] : counters_) e.metric.Reset();
   for (auto& [_, e] : gauges_) e.metric.Reset();
   for (auto& [_, e] : histograms_) e.metric->Reset();
+  for (auto& [_, e] : sketches_) e.metric->Reset();
+  for (auto& [_, e] : counter_series_) e.metric->Reset();
+  for (auto& [_, e] : gauge_series_) e.metric->Reset();
+  for (auto& [_, e] : sketch_series_) e.metric->Reset();
 }
 
 }  // namespace mmdb::obs

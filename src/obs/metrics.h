@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace mmdb::obs {
 
 /// Whether a metric survives Database::Crash().
@@ -103,11 +105,27 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name, std::vector<double> bounds,
                        Scope scope = Scope::kStable);
 
+  /// Whole-run log-scale percentile sketch (p50/p95/p99/p999 export).
+  LogSketch* sketch(const std::string& name, Scope scope = Scope::kStable);
+
+  /// Virtual-clock-bucketed time series (obs/timeseries.h). The bucket
+  /// width of the first creation wins, like the scope.
+  CounterSeries* counter_series(const std::string& name, uint64_t bucket_ns,
+                                Scope scope = Scope::kStable);
+  GaugeSeries* gauge_series(const std::string& name, uint64_t bucket_ns,
+                            Scope scope = Scope::kStable);
+  SketchSeries* sketch_series(const std::string& name, uint64_t bucket_ns,
+                              Scope scope = Scope::kStable);
+
   /// Read-only lookups; return 0 / nullptr when the metric was never
   /// created. Reading never creates.
   uint64_t counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const LogSketch* find_sketch(const std::string& name) const;
+  const CounterSeries* find_counter_series(const std::string& name) const;
+  const GaugeSeries* find_gauge_series(const std::string& name) const;
+  const SketchSeries* find_sketch_series(const std::string& name) const;
 
   /// Resets every volatile metric to zero (Database::Crash()).
   void ResetVolatile();
@@ -127,6 +145,22 @@ class MetricsRegistry {
   void ForEachHistogram(F&& f) const {
     for (const auto& [name, e] : histograms_) f(name, *e.metric);
   }
+  template <typename F>
+  void ForEachSketch(F&& f) const {
+    for (const auto& [name, e] : sketches_) f(name, *e.metric);
+  }
+  template <typename F>
+  void ForEachCounterSeries(F&& f) const {
+    for (const auto& [name, e] : counter_series_) f(name, *e.metric);
+  }
+  template <typename F>
+  void ForEachGaugeSeries(F&& f) const {
+    for (const auto& [name, e] : gauge_series_) f(name, *e.metric);
+  }
+  template <typename F>
+  void ForEachSketchSeries(F&& f) const {
+    for (const auto& [name, e] : sketch_series_) f(name, *e.metric);
+  }
 
  private:
   struct CounterEntry {
@@ -141,11 +175,28 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> metric;
     Scope scope;
   };
+  struct SketchEntry {
+    std::unique_ptr<LogSketch> metric;
+    Scope scope;
+  };
+  template <typename Series>
+  struct SeriesEntry {
+    std::unique_ptr<Series> metric;
+    Scope scope;
+  };
+
+  template <typename Series>
+  Series* GetSeries(std::map<std::string, SeriesEntry<Series>>* store,
+                    const std::string& name, uint64_t bucket_ns, Scope scope);
 
   // std::map: node-stable, so returned handles stay valid.
   std::map<std::string, CounterEntry> counters_;
   std::map<std::string, GaugeEntry> gauges_;
   std::map<std::string, HistEntry> histograms_;
+  std::map<std::string, SketchEntry> sketches_;
+  std::map<std::string, SeriesEntry<CounterSeries>> counter_series_;
+  std::map<std::string, SeriesEntry<GaugeSeries>> gauge_series_;
+  std::map<std::string, SeriesEntry<SketchSeries>> sketch_series_;
 };
 
 }  // namespace mmdb::obs

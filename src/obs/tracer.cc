@@ -79,6 +79,10 @@ std::string Tracer::ToJson() const {
       AppendNumber(&out, static_cast<double>(e.dur_ns) * 1e-3);
     } else if (e.phase == 'i') {
       out.append(",\"s\":\"g\"");  // global-scope instant
+    } else if (e.phase == 'C') {
+      out.append(",\"args\":{\"value\":");
+      AppendNumber(&out, e.value);
+      out.append("}");
     }
     out.append("}");
   }

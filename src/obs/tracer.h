@@ -68,6 +68,15 @@ class Tracer {
     events_.push_back(Event{'i', track, category, std::move(name), ts_ns, 0});
   }
 
+  /// A counter sample ("C" phase). Perfetto renders same-named counter
+  /// events on one track as a stepped value-over-time curve.
+  void Counter(Track track, const char* category, std::string name,
+               uint64_t ts_ns, double value) {
+    if (!enabled_) return;
+    events_.push_back(
+        Event{'C', track, category, std::move(name), ts_ns, 0, value});
+  }
+
   size_t event_count() const { return events_.size(); }
   void Clear() { events_.clear(); }
 
@@ -86,6 +95,7 @@ class Tracer {
     std::string name;
     uint64_t ts_ns;
     uint64_t dur_ns;
+    double value = 0;  // 'C' events only
   };
 
   bool enabled_ = false;

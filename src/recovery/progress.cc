@@ -1,0 +1,103 @@
+#include "recovery/progress.h"
+
+namespace mmdb {
+
+namespace {
+const char* SourceName(RecoverySource src) {
+  switch (src) {
+    case RecoverySource::kRestart: return "restart";
+    case RecoverySource::kOnDemand: return "ondemand";
+    case RecoverySource::kBackground: return "background";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void RecoveryProgressTracker::AttachMetrics(obs::MetricsRegistry* reg,
+                                            uint64_t bucket_ns) {
+  m_ready_fraction_ =
+      reg->gauge("recovery.ready_fraction", obs::Scope::kStable);
+  m_partitions_pending_ =
+      reg->gauge("recovery.partitions_pending", obs::Scope::kStable);
+  s_ready_fraction_ = reg->gauge_series("recovery.ready_fraction", bucket_ns,
+                                        obs::Scope::kStable);
+  for (RecoverySource src : {RecoverySource::kRestart, RecoverySource::kOnDemand,
+                             RecoverySource::kBackground}) {
+    size_t i = static_cast<size_t>(src);
+    std::string suffix = SourceName(src);
+    m_partitions_by_src_[i] = reg->counter(
+        "recovery.partitions_recovered." + suffix, obs::Scope::kStable);
+    m_records_by_src_[i] = reg->counter(
+        "recovery.records_replayed." + suffix, obs::Scope::kStable);
+  }
+  // A fresh database is fully ready; don't clobber mid-recovery state
+  // when re-attaching after a crash rebuilds volatile observers.
+  if (!tracking_) m_ready_fraction_->Set(1.0);
+}
+
+void RecoveryProgressTracker::OnCrash(uint64_t now_ns) {
+  tracking_ = false;  // frozen until restart phase 1 re-counts partitions
+  crashed_ = true;
+  total_ = 0;
+  recovered_ = 0;
+  if (m_ready_fraction_ != nullptr) {
+    m_ready_fraction_->Set(0.0);
+    m_partitions_pending_->Set(0.0);
+    s_ready_fraction_->Sample(now_ns, 0.0);
+    if (tracer_ != nullptr) {
+      tracer_->Counter(obs::Track::kSystem, "recovery",
+                       "recovery.ready_fraction", now_ns, 0.0);
+    }
+  }
+}
+
+void RecoveryProgressTracker::BeginTracking(uint64_t total_partitions,
+                                            uint64_t now_ns) {
+  total_ = total_partitions;
+  recovered_ = 0;
+  crashed_ = false;
+  tracking_ = total_ > 0;
+  Publish(now_ns);
+}
+
+void RecoveryProgressTracker::OnPartitionsRecovered(RecoverySource src,
+                                                    uint64_t count,
+                                                    uint64_t records,
+                                                    uint64_t now_ns) {
+  size_t i = static_cast<size_t>(src);
+  if (m_partitions_by_src_[i] != nullptr) {
+    m_partitions_by_src_[i]->Add(count);
+    m_records_by_src_[i]->Add(records);
+  }
+  if (!tracking_) return;
+  recovered_ += count;
+  if (recovered_ >= total_) {
+    recovered_ = total_;
+    tracking_ = false;
+  }
+  Publish(now_ns);
+}
+
+void RecoveryProgressTracker::OnPartitionCreated(uint64_t now_ns) {
+  if (!tracking_) return;
+  ++total_;
+  ++recovered_;
+  Publish(now_ns);
+}
+
+void RecoveryProgressTracker::Publish(uint64_t now_ns) {
+  if (m_ready_fraction_ == nullptr) return;
+  double frac = tracking_ ? (total_ == 0 ? 1.0
+                                         : static_cast<double>(recovered_) /
+                                               static_cast<double>(total_))
+                          : 1.0;
+  m_ready_fraction_->Set(frac);
+  m_partitions_pending_->Set(static_cast<double>(pending()));
+  s_ready_fraction_->Sample(now_ns, frac);
+  if (tracer_ != nullptr) {
+    tracer_->Counter(obs::Track::kSystem, "recovery", "recovery.ready_fraction",
+                     now_ns, frac);
+  }
+}
+
+}  // namespace mmdb

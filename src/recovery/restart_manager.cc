@@ -90,6 +90,7 @@ Status RestartManager::Restart(RestartReport* report) {
     // The database never had catalog data: a fresh start.
     db.v_->catalog_segment = db.v_->pm.AllocateSegment();
     db.crashed_ = false;
+    db.recovery_progress_.BeginTracking(0, db.clock_.now_ns());
     return Status::OK();
   }
   SegmentId catalog_segment = 0;
@@ -126,7 +127,11 @@ Status RestartManager::Restart(RestartReport* report) {
   for (const RootEntry& e : entries) {
     catalog_work.push_back(Database::RecoveryWorkItem{e.pid, e.ckpt_page});
   }
+  uint64_t records_before = report->records_applied;
   MMDB_RETURN_IF_ERROR(db.RecoverPartitionsParallel(catalog_work, report));
+  db.recovery_progress_.OnPartitionsRecovered(
+      RecoverySource::kRestart, catalog_work.size(),
+      report->records_applied - records_before, db.clock_.now_ns());
   for (const RootEntry& e : entries) {
     PartitionDescriptor d;
     d.id = e.pid;
@@ -180,6 +185,24 @@ Status RestartManager::Restart(RestartReport* report) {
     max_txn = std::max(max_txn, ls->slb->max_txn_id());
   }
   db.v_->txns.SeedNextId(max_txn + 1);
+
+  // Catalogs are usable: fix the ready-fraction denominator at the data
+  // partitions now awaiting recovery (on-demand, background, or the
+  // kFullReload sweep below — each path reports back to the tracker).
+  uint64_t data_partitions = 0;
+  for (const RelationInfo* rc : db.v_->catalog.AllRelations()) {
+    for (const PartitionDescriptor& d : rc->partitions) {
+      if (!d.resident) ++data_partitions;
+    }
+    for (const std::string& iname : rc->index_names) {
+      auto idx = db.v_->catalog.GetIndex(iname);
+      if (!idx.ok()) return idx.status();
+      for (const PartitionDescriptor& d : idx.value()->partitions) {
+        if (!d.resident) ++data_partitions;
+      }
+    }
+  }
+  db.recovery_progress_.BeginTracking(data_partitions, db.clock_.now_ns());
 
   report->catalog_ms =
       static_cast<double>(db.clock_.now_ns() - t_start) * 1e-6;

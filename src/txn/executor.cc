@@ -24,11 +24,43 @@ ConcurrentExecutor::ConcurrentExecutor(Database* db, Options opts)
       db->metrics().counter("txn.deadlocks", obs::Scope::kVolatile);
   m_worker_busy_ns_ =
       db->metrics().histogram("txn.worker_busy_ns", obs::Scope::kVolatile);
+  obs::MetricsRegistry& reg = db->metrics();
+  s_commit_latency_ =
+      reg.sketch("txn.sketch.commit_latency_ns", obs::Scope::kVolatile);
+  s_abort_latency_ =
+      reg.sketch("txn.sketch.abort_latency_ns", obs::Scope::kVolatile);
+  s_queue_wait_ = reg.sketch("txn.sketch.queue_wait_ns", obs::Scope::kVolatile);
+  s_lock_wait_ = reg.sketch("txn.sketch.lock_wait_ns", obs::Scope::kVolatile);
+  s_execute_ = reg.sketch("txn.sketch.execute_ns", obs::Scope::kVolatile);
+  s_commit_fence_ =
+      reg.sketch("txn.sketch.commit_fence_ns", obs::Scope::kVolatile);
 }
 
 void ConcurrentExecutor::Submit(TxnScript script) {
   scripts_.push_back(std::move(script));
   results_.emplace_back();
+  submit_ns_.push_back(db_->now_ns());
+}
+
+void ConcurrentExecutor::RecordCommitSketches(const Lane& lane,
+                                              uint64_t commit_end_ns,
+                                              uint64_t fence_ns) {
+  if (lane.attempt_begin_ns == 0 || commit_end_ns < lane.attempt_begin_ns) {
+    return;
+  }
+  uint64_t total = commit_end_ns - lane.attempt_begin_ns;
+  s_commit_latency_->Record(static_cast<double>(total));
+  s_queue_wait_->Record(static_cast<double>(lane.queue_wait_ns));
+  s_lock_wait_->Record(static_cast<double>(lane.lock_wait_ns));
+  s_commit_fence_->Record(static_cast<double>(fence_ns));
+  uint64_t accounted = lane.lock_wait_ns + fence_ns;
+  s_execute_->Record(
+      static_cast<double>(total > accounted ? total - accounted : 0));
+}
+
+void ConcurrentExecutor::RecordAbortSketch(const Lane& lane, uint64_t now_ns) {
+  if (lane.attempt_begin_ns == 0 || now_ns < lane.attempt_begin_ns) return;
+  s_abort_latency_->Record(static_cast<double>(now_ns - lane.attempt_begin_ns));
 }
 
 uint64_t ConcurrentExecutor::completion_ns() const {
@@ -47,6 +79,7 @@ void ConcurrentExecutor::UnblockTxn(uint64_t txn_id, uint64_t grant_ns) {
   for (Lane& l : lanes_) {
     if (l.blocked && l.txn != nullptr && l.txn->id() == txn_id) {
       l.blocked = false;
+      if (grant_ns > l.park_ns) l.lock_wait_ns += grant_ns - l.park_ns;
       // The worker slept from its park time until the grant.
       l.cpu->IdleUntil(grant_ns);
       return;
@@ -58,6 +91,10 @@ void ConcurrentExecutor::ResetForRetry(Lane* lane) {
   lane->txn = nullptr;
   lane->next_op = 0;
   lane->blocked = false;
+  // Phase sketches describe the final attempt; a retry starts clean.
+  lane->attempt_begin_ns = 0;
+  lane->lock_wait_ns = 0;
+  lane->park_ns = 0;
 }
 
 Status ConcurrentExecutor::AbortVictims(const std::vector<uint64_t>& victims,
@@ -78,6 +115,7 @@ Status ConcurrentExecutor::AbortVictims(const std::vector<uint64_t>& victims,
     }
     Lane& lane = lanes_[li];
     MMDB_DCHECK(lane.blocked);
+    RecordAbortSketch(lane, now_ns);
     // Removing the victim's queue entry can itself unblock waiters queued
     // behind it.
     for (uint64_t granted : db_->locks().CancelWait(vid)) {
@@ -133,6 +171,14 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
     lane.txn = begun.value();
     result.txn_id = lane.txn->id();
     result.worker = static_cast<uint32_t>(li);
+    lane.attempt_begin_ns = lane.txn->begin_ns();
+    if (!lane.queue_recorded) {
+      lane.queue_recorded = true;
+      uint64_t submitted = submit_ns_[lane.script];
+      lane.queue_wait_ns = lane.attempt_begin_ns > submitted
+                               ? lane.attempt_begin_ns - submitted
+                               : 0;
+    }
   }
 
   if (lane.next_op < script.ops.size()) {
@@ -145,6 +191,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
       db_->BindExecContext(nullptr);
       MMDB_RETURN_IF_ERROR(rb);
       lane.blocked = true;
+      lane.park_ns = lane.cpu->busy_until_ns();
       waits_++;
       m_waits_->Add();
       if (db_->tracer().enabled()) {
@@ -166,6 +213,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
       // own request closed. Abort it (full undo covers the partial op —
       // no statement rollback needed first) and retry from scratch.
       uint64_t now_ns = lane.cpu->busy_until_ns();
+      RecordAbortSketch(lane, now_ns);
       Status ab = db_->Abort(lane.txn);
       db_->BindExecContext(nullptr);
       MMDB_RETURN_IF_ERROR(ab);
@@ -196,6 +244,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
     }
     if (!st.ok()) {
       // Ordinary script failure: abort, record, move on.
+      RecordAbortSketch(lane, lane.cpu->busy_until_ns());
       Database::ExecContext actx;
       actx.cpu = lane.cpu.get();
       actx.worker = static_cast<uint32_t>(li);
@@ -216,6 +265,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
 
   // All ops done: commit.
   uint64_t txn_id = lane.txn->id();
+  uint64_t commit_start_ns = lane.cpu->busy_until_ns();
   Status st = db_->Commit(lane.txn);
   db_->BindExecContext(nullptr);
   if (st.IsFault()) {
@@ -226,6 +276,8 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
   MMDB_RETURN_IF_ERROR(st);
   result.outcome = ScriptOutcome::kCommitted;
   result.commit_ns = lane.cpu->busy_until_ns();
+  RecordCommitSketches(lane, result.commit_ns,
+                       result.commit_ns - commit_start_ns);
   // Partitioned-log mode: the commit's group-commit stamp (zeros with a
   // single stream).
   result.commit_epoch = db_->last_commit_epoch();
@@ -249,6 +301,11 @@ Status ConcurrentExecutor::Run() {
       l.txn = nullptr;
       l.next_op = 0;
       l.blocked = false;
+      l.attempt_begin_ns = 0;
+      l.queue_wait_ns = 0;
+      l.queue_recorded = false;
+      l.lock_wait_ns = 0;
+      l.park_ns = 0;
     }
 
     // Pick the runnable worker with the earliest (busy-until, index).

@@ -106,6 +106,14 @@ class ConcurrentExecutor {
     Transaction* txn = nullptr;
     size_t next_op = 0;
     bool blocked = false;
+    // Phase-latency bookkeeping for the per-txn sketches. The queue-wait
+    // fields cover the whole script (set once, at first admission); the
+    // rest describe the current attempt and reset on deadlock retry.
+    uint64_t attempt_begin_ns = 0;
+    uint64_t queue_wait_ns = 0;
+    bool queue_recorded = false;
+    uint64_t lock_wait_ns = 0;
+    uint64_t park_ns = 0;
   };
 
   /// Applies pending lock grants: unparks the granted transactions'
@@ -120,11 +128,18 @@ class ConcurrentExecutor {
   /// Resets lane state so the script retries from scratch.
   void ResetForRetry(Lane* lane);
 
+  /// Records the committed/aborted transaction's phase breakdown into
+  /// the txn.sketch.* percentile sketches.
+  void RecordCommitSketches(const Lane& lane, uint64_t commit_end_ns,
+                            uint64_t fence_ns);
+  void RecordAbortSketch(const Lane& lane, uint64_t now_ns);
+
   Database* db_;
   Options opts_;
   std::vector<Lane> lanes_;
   std::vector<TxnScript> scripts_;
   std::vector<ScriptResult> results_;
+  std::vector<uint64_t> submit_ns_;  // parallel to scripts_
   size_t admit_cursor_ = 0;
   std::vector<uint64_t> commit_order_;
   uint64_t waits_ = 0;
@@ -132,6 +147,16 @@ class ConcurrentExecutor {
   obs::Counter* m_waits_ = nullptr;
   obs::Counter* m_deadlocks_ = nullptr;
   obs::Histogram* m_worker_busy_ns_ = nullptr;
+  /// Per-txn latency percentiles (p50/p95/p99/p999), split by outcome
+  /// and by phase: queue-wait (submit -> first admission), lock-wait
+  /// (parked on grants, final attempt), execute (operation work),
+  /// commit-fence (the Commit call itself, durability included).
+  obs::LogSketch* s_commit_latency_ = nullptr;
+  obs::LogSketch* s_abort_latency_ = nullptr;
+  obs::LogSketch* s_queue_wait_ = nullptr;
+  obs::LogSketch* s_lock_wait_ = nullptr;
+  obs::LogSketch* s_execute_ = nullptr;
+  obs::LogSketch* s_commit_fence_ = nullptr;
 };
 
 }  // namespace mmdb

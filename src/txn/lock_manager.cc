@@ -129,6 +129,7 @@ LockManager::LockRequestResult LockManager::AcquireOrWait(
   }
   queues_[res].push_back(Waiter{txn_id, mode});
   waiting_[txn_id] = WaitInfo{res, mode};
+  SyncWaitDepth();
   CollectVictims(txn_id, &r.victims);
   if (!r.victims.empty()) {
     deadlocks_ += r.victims.size();
@@ -149,6 +150,7 @@ LockManager::LockRequestResult LockManager::AcquireOrWait(
              dq.end());
     if (dq.empty()) queues_.erase(res);
     waiting_.erase(txn_id);
+    SyncWaitDepth();
     r.outcome = LockOutcome::kDeadlockSelf;
     return r;
   }
@@ -238,6 +240,7 @@ void LockManager::GrantPass(const LockResource& res,
     uint64_t id = dq.front().txn_id;
     Grant(id, res, effective);
     waiting_.erase(id);
+    SyncWaitDepth();
     dq.pop_front();
     granted->push_back(id);
   }
@@ -271,6 +274,7 @@ std::vector<uint64_t> LockManager::CancelWait(uint64_t txn_id) {
   if (w == waiting_.end()) return granted;
   LockResource res = w->second.res;
   waiting_.erase(w);
+  SyncWaitDepth();
   auto q = queues_.find(res);
   if (q != queues_.end()) {
     auto& dq = q->second;

@@ -107,6 +107,8 @@ class LockManager {
     m_conflicts_ = reg->counter("lock.conflicts", obs::Scope::kVolatile);
     m_waits_ = reg->counter("lock.waits", obs::Scope::kVolatile);
     m_deadlocks_ = reg->counter("lock.deadlocks", obs::Scope::kVolatile);
+    m_wait_queue_depth_ =
+        reg->gauge("lock.wait_queue_depth", obs::Scope::kVolatile);
   }
 
   /// Acquires (or upgrades to) `mode` on `res` for `txn_id`. No-wait.
@@ -182,6 +184,13 @@ class LockManager {
   /// member of each to `*victims` (treated as removed) until no cycle
   /// through `start` remains.
   void CollectVictims(uint64_t start, std::vector<uint64_t>* victims) const;
+  /// Mirrors waiting_.size() into the wait-queue-depth gauge; call after
+  /// every waiting_ mutation.
+  void SyncWaitDepth() {
+    if (m_wait_queue_depth_ != nullptr) {
+      m_wait_queue_depth_->Set(static_cast<double>(waiting_.size()));
+    }
+  }
 
   std::unordered_map<LockResource, std::vector<Holder>, LockResourceHash>
       table_;
@@ -203,6 +212,7 @@ class LockManager {
   obs::Counter* m_acquisitions_ = nullptr;
   obs::Counter* m_waits_ = nullptr;
   obs::Counter* m_deadlocks_ = nullptr;
+  obs::Gauge* m_wait_queue_depth_ = nullptr;
 };
 
 using LockOutcome = LockManager::LockOutcome;

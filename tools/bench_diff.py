@@ -12,6 +12,12 @@ For every BENCH_*.json in <baseline_dir>, the matching file must exist in
     current < baseline * (1 - tolerance).
   - anything else is reported but never fails the run.
 
+A bench may also carry a top-level "timeseries" section of curve-shape
+counts (e.g. nonempty_buckets from the instant-recovery run). Those are
+coverage floors: the run FAILS if a count drops below
+baseline * (1 - tolerance) — a sparser curve means the experiment lost
+signal, while a denser one is fine.
+
 Exit status 1 on any regression, so CI can gate on it. Improvements are
 reported; refresh the baselines to lock them in.
 """
@@ -61,6 +67,26 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
         if regressed:
             failures.append(
                 f"{key}: {base_val:.3f} -> {curr_val:.3f} ({delta_pct:+.2f}%)")
+
+    base_ts = base.get("timeseries", {})
+    curr_ts = curr.get("timeseries", {})
+    for key, base_val in sorted(base_ts.items()):
+        if not isinstance(base_val, (int, float)):
+            continue
+        curr_val = curr_ts.get(key)
+        if curr_val is None:
+            failures.append(f"timeseries.{key}: missing from current run")
+            continue
+        # Coverage floor: fewer buckets than baseline means the curve
+        # lost signal. bucket_ns is a configuration echo, not a floor.
+        is_floor = key != "bucket_ns"
+        regressed = is_floor and curr_val < base_val * (1 - tolerance)
+        marker = "REGRESSION" if regressed else ("ok" if is_floor else "info")
+        print(f"  timeseries.{key:29s} {base_val:12.0f} -> {curr_val:12.0f} "
+              f"[{marker}]")
+        if regressed:
+            failures.append(
+                f"timeseries.{key}: {base_val:.0f} -> {curr_val:.0f}")
     return failures
 
 
