@@ -265,6 +265,7 @@ Status Database::RollbackOperation(Transaction* txn, const OpMark& mark) {
     MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, pr.value()));
     MainWork(opts_.apply_instructions_per_record);
   }
+  if (!undo.empty()) NoteSpaceFreed();
   slb_at(txn->log_stream())->Rewind(txn->id(), mark.slb);
   txn->RestoreRedo(mark.redo);
   return Status::OK();
@@ -379,12 +380,21 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
   MainWork(opts_.dml_instructions);
 
   Partition* target = nullptr;
-  for (Partition* p : v_->pm.SegmentPartitions(segment)) {
-    if (p->free_bytes() + p->garbage_bytes() >= data.size() + 16) {
+  const auto& parts = v_->pm.SegmentPartitions(segment);
+  const auto need = static_cast<uint32_t>(data.size()) + 16;
+  auto& hint = v_->insert_hints[segment];
+  size_t i = (hint.epoch == v_->space_epoch && need >= hint.need &&
+              hint.idx <= parts.size())
+                 ? hint.idx
+                 : 0;
+  for (; i < parts.size(); ++i) {
+    Partition* p = parts[i];
+    if (p->free_bytes() + p->garbage_bytes() >= need) {
       target = p;
       break;
     }
   }
+  hint = {i, need, v_->space_epoch};
   uint32_t slot = 0;
   while (true) {
     if (target == nullptr) {
@@ -407,6 +417,7 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
   MainWork(opts_.lock_instructions);
   if (!lock.ok()) {
     MMDB_CHECK(target->Delete(slot).ok());
+    NoteSpaceFreed();
     return lock;
   }
 
@@ -420,6 +431,7 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
   Status st = AppendRedo(txn, redo, MakeUndo(redo, {}));
   if (!st.ok()) {
     MMDB_CHECK(target->Delete(slot).ok());
+    NoteSpaceFreed();
     return st;
   }
   return addr;
@@ -446,6 +458,7 @@ Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
   std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
 
   MMDB_RETURN_IF_ERROR(p->Update(addr.slot, data));
+  NoteSpaceFreed();
 
   LogRecord redo;
   redo.op = LogOp::kUpdate;
@@ -479,6 +492,7 @@ Status Database::DeleteEntity(Transaction* txn, const EntityAddr& addr) {
   std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
 
   MMDB_RETURN_IF_ERROR(p->Delete(addr.slot));
+  NoteSpaceFreed();
 
   LogRecord redo;
   redo.op = LogOp::kDelete;
@@ -537,6 +551,7 @@ Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
                                             : node::RemoveEntry(&post, e);
   if (!st.ok()) return st;
   MMDB_RETURN_IF_ERROR(p->Update(addr.slot, post));
+  NoteSpaceFreed();
 
   LogRecord redo;
   redo.op = op;
@@ -560,7 +575,12 @@ Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
 
 Result<Partition*> Database::ResidentPartition(PartitionId pid) {
   auto p = v_->pm.Get(pid);
-  if (p.ok()) return p;
+  if (p.ok()) {
+    // Access heat for the heat-ordered background sweep: one increment
+    // per reference, harvested by Crash().
+    p.value()->Touch();
+    return p;
+  }
   if (!p.status().IsNotResident()) return p.status();
 
   // On-demand recovery (paper §2.5 method 2): a reference to an
@@ -607,7 +627,9 @@ Result<Partition*> Database::ResidentPartition(PartitionId pid) {
                                     : obs::Track::kMainCpu;
   tracer_.Span(track, "recovery", "on-demand " + pid.ToString(), start_ns,
                clock_.now_ns() - start_ns);
-  return v_->pm.Get(pid);
+  auto rp = v_->pm.Get(pid);
+  if (rp.ok()) rp.value()->Touch();
+  return rp;
 }
 
 Result<Partition*> Database::CreatePartitionInSegment(SegmentId segment) {
@@ -843,6 +865,7 @@ Status Database::RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
   clock_.AdvanceTo(t);
   main_cpu_.IdleUntil(clock_.now_ns());
   MMDB_RETURN_IF_ERROR(v_->pm.InstallRecovered(std::move(part)));
+  NoteSpaceFreed();
   auto d = v_->catalog.FindDescriptor(pid);
   if (d.ok()) d.value()->resident = true;
   ++report->partitions_recovered;
@@ -1085,6 +1108,7 @@ void Database::ReleaseSegmentStorage(
       }
     }
     Status st = v_->pm.DropPartition(d.id);
+    NoteSpaceFreed();
     (void)st;  // non-resident partitions are fine
   }
 }
@@ -1320,6 +1344,7 @@ Status Database::Abort(Transaction* txn) {
     }
     MainWork(opts_.apply_instructions_per_record);
   }
+  if (!undo.empty()) NoteSpaceFreed();
   SlbAllocationGate(txn->log_stream());
   MMDB_RETURN_IF_ERROR(slb_at(txn->log_stream())->Discard(id));
   NoteGrants(v_->locks.ReleaseAll(id));
@@ -1651,6 +1676,13 @@ Status Database::CheckpointEverything() {
 }
 
 void Database::Crash() {
+  // Harvest access heat before the primary copy disappears: the
+  // heat-ordered background sweep uses these counts to restore the
+  // hottest partitions first after restart. Accumulates across crashes
+  // (partitions recovered mid-epoch restart their in-memory counter).
+  for (Partition* p : v_->pm.AllPartitions()) {
+    if (p->heat() != 0) partition_heat_[p->id().Pack()] += p->heat();
+  }
   // Volatile state is gone: the primary copy, locks, UNDO space,
   // in-flight transactions, in-memory catalogs.
   v_ = std::make_unique<Volatile>(opts_);
@@ -1746,6 +1778,26 @@ Status Database::RecoverRelation(const std::string& relation) {
 
 Status Database::BackgroundRecoveryStep(bool* done, RestartReport* report) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
+  // The kFullReload restart sweep keeps catalog iteration order: it
+  // restores everything anyway (ordering buys nothing) and its restart
+  // timings are baselined on the catalog scan's seek pattern. Under
+  // kOnDemand the sweep is heat-ordered — Zipf-hot partitions first —
+  // so transactions stop faulting as early as possible.
+  if (opts_.restart_policy == RestartPolicy::kFullReload) {
+    return BackgroundRecoveryStepCatalogOrder(done, report);
+  }
+  *done = true;
+  const size_t batch = std::max<uint32_t>(1, opts_.recovery_parallelism);
+  std::vector<RecoveryWorkItem> work;
+  RecoveryWorkItem item;
+  while (work.size() < batch && NextSweepItem(&item)) work.push_back(item);
+  if (work.empty()) return Status::OK();
+  *done = false;
+  return RecoverSweepBatch(work, report);
+}
+
+Status Database::BackgroundRecoveryStepCatalogOrder(bool* done,
+                                                    RestartReport* report) {
   *done = true;
   if (bg_cursor_.epoch != ddl_epoch_) {
     bg_cursor_ = BackgroundCursor{};
@@ -1792,8 +1844,12 @@ Status Database::BackgroundRecoveryStep(bool* done, RestartReport* report) {
     }
   }
   if (work.empty()) return Status::OK();
-
   *done = false;
+  return RecoverSweepBatch(work, report);
+}
+
+Status Database::RecoverSweepBatch(const std::vector<RecoveryWorkItem>& work,
+                                   RestartReport* report) {
   uint64_t start_ns = clock_.now_ns();
   RestartReport scratch;
   RestartReport* target = report != nullptr ? report : &scratch;

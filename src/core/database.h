@@ -316,6 +316,37 @@ class Database {
   bool FullyResident();
   bool IsRelationResident(const std::string& relation);
 
+  // --- interleaved background sweep (unified event loop) ----------------------
+  /// One unit of background/parallel recovery work.
+  struct RecoveryWorkItem {
+    PartitionId pid;
+    uint64_t ckpt_page = 0;
+  };
+  /// Pops the next non-resident partition off the heat-ordered sweep
+  /// queue (hottest first; see EnsureSweepQueue). Returns false when
+  /// nothing is left to sweep. Shared with BackgroundRecoveryStep, so an
+  /// executor-driven sweep and explicit stepping never double-recover.
+  bool NextSweepItem(RecoveryWorkItem* item);
+  /// Time-functional single-partition recovery for the interleaved sweep:
+  /// performs the checkpoint-image and log-chain reads with virtual time
+  /// starting at `ready_ns` and the record apply charged to `lane` (a
+  /// recovery-lane timeline) — without advancing the global clock or
+  /// installing, so it can run as an event between transaction
+  /// operations on the unified loop. On success *done_ns is the virtual
+  /// completion time and *out the rebuilt partition.
+  Status SweepRecoverPartition(const RecoveryWorkItem& item, uint64_t ready_ns,
+                               sim::DeviceTimeline* lane, uint64_t* done_ns,
+                               std::unique_ptr<Partition>* out,
+                               uint64_t* records_applied);
+  /// Installs a sweep-recovered partition at virtual time `install_ns`,
+  /// recording background-recovery progress. Drops the copy (sets
+  /// *installed = false) when an on-demand recovery made the partition
+  /// resident — or DDL dropped it — while the sweep copy was in flight.
+  Status InstallSweepPartition(std::unique_ptr<Partition> part,
+                               uint64_t start_ns, uint64_t install_ns,
+                               uint64_t records_applied, uint32_t lane,
+                               bool* installed);
+
   // --- media failure ----------------------------------------------------------
   /// Simulates a checkpoint-disk media failure and recovers it from the
   /// archive (paper §2.6). The memory copy is unaffected.
@@ -447,12 +478,32 @@ class Database {
     UndoSpace undo;
     TransactionManager txns;
     SegmentId catalog_segment = 0;
+    /// First-fit insert accelerator: InsertEntity's scan proved every
+    /// partition of the segment before `idx` unable to fit `need` bytes
+    /// as of `epoch`, so a later insert of >= `need` bytes may resume
+    /// the scan there. Any operation that can grow a partition's
+    /// free+garbage space (update, delete, undo apply, recovery install,
+    /// drop) bumps `space_epoch`, voiding every hint — placement stays
+    /// byte-identical to the full scan; only proven-full prefixes are
+    /// skipped. Without this the scan re-reads every full partition's
+    /// header per insert: O(partitions) cache misses per tuple, the
+    /// dominant host cost of building million-row tables.
+    struct InsertHint {
+      size_t idx = 0;
+      uint32_t need = 0;
+      uint64_t epoch = 0;
+    };
+    std::unordered_map<SegmentId, InsertHint> insert_hints;
+    uint64_t space_epoch = 1;
     /// Catalog partitions' descriptors (kept here, mirrored in the stable
     /// root block, never as catalog rows — avoids self-reference).
     std::vector<PartitionDescriptor> catalog_partitions;
     std::map<std::string, TTree> ttrees;
     std::map<std::string, LinearHash> hashes;
   };
+
+  /// A partition may have regained space: void the first-fit hints.
+  void NoteSpaceFreed() { ++v_->space_epoch; }
 
   // --- logged entity operations (the heart of regular logging, §2.3) ----------
   Result<EntityAddr> InsertEntity(Transaction* txn, SegmentId segment,
@@ -499,11 +550,6 @@ class Database {
   Status RecoverPartitionSerial(PartitionId pid, uint64_t ckpt_page,
                                 RestartReport* report);
 
-  /// One unit of parallel-recovery work.
-  struct RecoveryWorkItem {
-    PartitionId pid;
-    uint64_t ckpt_page = 0;
-  };
   /// Restores `work` on up to recovery_parallelism pipelined lanes over
   /// the device-queue scheduler (defined in parallel_recovery.cc).
   Status RecoverPartitionsParallel(const std::vector<RecoveryWorkItem>& work,
@@ -673,6 +719,28 @@ class Database {
   };
   BackgroundCursor bg_cursor_;
   uint64_t ddl_epoch_ = 0;
+
+  /// Heat-ordered background-sweep queue (kOnDemand policy): all
+  /// non-resident partitions at build time, hottest first (heat
+  /// harvested into partition_heat_ by Crash()), partition id ascending
+  /// on ties for determinism. Rebuilt on DDL-epoch mismatch like the
+  /// cursor above; already-resident entries are skipped at pop time.
+  /// Defined in sweep.cc.
+  void EnsureSweepQueue();
+  std::vector<RecoveryWorkItem> bg_queue_;
+  size_t bg_queue_pos_ = 0;
+  uint64_t bg_queue_epoch_ = ~0ull;
+  /// Lifetime access counts per partition (pid.Pack() -> touches),
+  /// accumulated across crashes. std::map: deterministic order.
+  std::map<uint64_t, uint64_t> partition_heat_;
+  /// The catalog-order legacy sweep step (kFullReload keeps it: a full
+  /// reload restores everything anyway, and its restart timings are
+  /// baselined on catalog iteration order).
+  Status BackgroundRecoveryStepCatalogOrder(bool* done, RestartReport* report);
+  /// Gathers up to `batch` sweep items (heat order) and recovers them on
+  /// the parallel lanes; shared tail of BackgroundRecoveryStep.
+  Status RecoverSweepBatch(const std::vector<RecoveryWorkItem>& work,
+                           RestartReport* report);
 
   // stats not covered by components
   uint64_t on_demand_recoveries_ = 0;

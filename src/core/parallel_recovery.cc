@@ -57,6 +57,9 @@ Status Database::RecoverPartitionsParallel(
       std::max<uint32_t>(1, opts_.recovery_parallelism), work.size());
 
   sim::EventScheduler sched;
+  // At most one pending event per lane (plus the install chained off it):
+  // a small reservation makes every submission allocation-free.
+  sched.Reserve(2 * lanes + 8);
   std::vector<sim::DeviceTimeline> lane_cpu;
   lane_cpu.reserve(lanes);
   for (size_t i = 0; i < lanes; ++i) {
@@ -316,6 +319,7 @@ Status Database::RecoverPartitionsParallel(
                                 task->image_done_ns});
     sched.At(finish, [&, lane, task](uint64_t t) {
       Status ist = v_->pm.InstallRecovered(std::move(task->part));
+      NoteSpaceFreed();
       if (!ist.ok()) {
         sched.Fail(ist);
         return;

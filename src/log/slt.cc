@@ -13,15 +13,8 @@ void StableLogTail::AttachMetrics(obs::MetricsRegistry* reg) {
 
 void StableLogTail::UpdateGauges() {
   if (m_bins_in_use_ == nullptr) return;
-  uint64_t in_use = 0;
-  uint64_t active_pages = 0;
-  for (const PartitionBin& b : bins_) {
-    if (!b.in_use) continue;
-    ++in_use;
-    if (!b.active_page.empty() || b.active_records > 0) ++active_pages;
-  }
-  m_bins_in_use_->Set(static_cast<double>(in_use));
-  m_active_pages_->Set(static_cast<double>(active_pages));
+  m_bins_in_use_->Set(static_cast<double>(bins_in_use_count_));
+  m_active_pages_->Set(static_cast<double>(active_bin_count_));
 }
 
 Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
@@ -42,6 +35,8 @@ Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
   b = PartitionBin{};
   b.in_use = true;
   b.partition = pid;
+  ++bins_in_use_count_;
+  bin_by_pid_[pid] = idx;
   UpdateGauges();
   return idx;
 }
@@ -49,11 +44,14 @@ Result<uint32_t> StableLogTail::RegisterPartition(PartitionId pid) {
 Status StableLogTail::ReleaseBin(uint32_t bin_index) {
   auto b = bin(bin_index);
   if (!b.ok()) return b.status();
-  if (!b.value()->active_page.empty() || b.value()->active_records > 0) {
+  if (BinActive(*b.value())) {
     meter_->Release(config_.page_bytes);
+    --active_bin_count_;
   }
+  bin_by_pid_.erase(b.value()->partition);
   *b.value() = PartitionBin{};
   free_bins_.push_back(bin_index);
+  --bins_in_use_count_;
   UpdateGauges();
   return Status::OK();
 }
@@ -73,10 +71,11 @@ Result<const PartitionBin*> StableLogTail::bin(uint32_t bin_index) const {
 }
 
 Result<uint32_t> StableLogTail::FindBin(PartitionId pid) const {
-  for (uint32_t i = 0; i < bins_.size(); ++i) {
-    if (bins_[i].in_use && bins_[i].partition == pid) return i;
+  auto it = bin_by_pid_.find(pid);
+  if (it == bin_by_pid_.end() || !bins_[it->second].in_use) {
+    return Status::NotFound("no bin for partition " + pid.ToString());
   }
-  return Status::NotFound("no bin for partition " + pid.ToString());
+  return it->second;
 }
 
 Status StableLogTail::AppendToActivePage(
@@ -91,6 +90,7 @@ Status StableLogTail::AppendToActivePage(
     }
     meter_->Allocate(config_.page_bytes);
     meter_->NoteHighWater();
+    ++active_bin_count_;
   }
   pb->active_page.insert(pb->active_page.end(), record_bytes.begin(),
                          record_bytes.end());
@@ -105,8 +105,9 @@ Status StableLogTail::ResetAfterCheckpoint(uint32_t bin_index) {
   auto b = bin(bin_index);
   if (!b.ok()) return b.status();
   PartitionBin* pb = b.value();
-  if (!pb->active_page.empty() || pb->active_records > 0) {
+  if (BinActive(*pb)) {
     meter_->Release(config_.page_bytes);
+    --active_bin_count_;
   }
   pb->update_count = 0;
   pb->first_page_lsn = kNoLsn;
@@ -120,6 +121,16 @@ Status StableLogTail::ResetAfterCheckpoint(uint32_t bin_index) {
   if (m_bin_resets_ != nullptr) m_bin_resets_->Add(1);
   UpdateGauges();
   return Status::OK();
+}
+
+void StableLogTail::NoteBinDrained(const PartitionBin& b) {
+  // A flush starts from a non-empty active page (the writer rejects empty
+  // flushes), so the bin was active before; it leaves the active set only
+  // if the flush took every buffered byte.
+  if (!BinActive(b)) {
+    --active_bin_count_;
+    UpdateGauges();
+  }
 }
 
 std::vector<uint32_t> StableLogTail::ActiveBins() const {

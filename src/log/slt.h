@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -103,7 +104,8 @@ class StableLogTail {
   Result<PartitionBin*> bin(uint32_t bin_index);
   Result<const PartitionBin*> bin(uint32_t bin_index) const;
 
-  /// Linear scan lookup (restart path).
+  /// Bin lookup by partition id (restart path; one lookup per recovered
+  /// partition, so this is indexed rather than a scan over all bins).
   Result<uint32_t> FindBin(PartitionId pid) const;
 
   size_t bin_count() const { return bins_.size(); }
@@ -117,6 +119,11 @@ class StableLogTail {
   /// information is no longer needed for memory recovery (§2.4). The
   /// active page buffer is released back to the meter.
   Status ResetAfterCheckpoint(uint32_t bin_index);
+
+  /// Tells the SLT that a log-disk flush drained bytes from `b`'s active
+  /// page outside this class (LogDiskWriter::FlushBinPage mutates the bin
+  /// directly). Keeps the active-buffer gauge counter exact.
+  void NoteBinDrained(const PartitionBin& b);
 
   /// Second stable copy of the catalog root block (paper §2.5: "it is
   /// stored twice, in the Stable Log Buffer and in the Stable Log Tail").
@@ -137,6 +144,10 @@ class StableLogTail {
   std::vector<uint32_t> ActiveBins() const;
 
  private:
+  static bool BinActive(const PartitionBin& b) {
+    return !b.active_page.empty() || b.active_records > 0;
+  }
+
   void UpdateGauges();
 
   Config config_;
@@ -144,6 +155,13 @@ class StableLogTail {
   fault::FaultInjector* fault_ = nullptr;
   std::vector<PartitionBin> bins_;
   std::vector<uint32_t> free_bins_;
+  /// Gauge values maintained incrementally at bin state transitions —
+  /// recomputing them by walking every bin on each log append dominated
+  /// host time at million-partition scale.
+  uint64_t bins_in_use_count_ = 0;
+  uint64_t active_bin_count_ = 0;
+  /// Partition-id → bin index, maintained by Register/ReleaseBin.
+  std::unordered_map<PartitionId, uint32_t> bin_by_pid_;
   std::vector<uint8_t> catalog_root_;
 
   // Optional registry series (null until AttachMetrics).

@@ -83,7 +83,17 @@ class CounterSeries : public TimeSeriesBase {
   explicit CounterSeries(uint64_t bucket_ns) : TimeSeriesBase(bucket_ns) {}
 
   void Add(uint64_t ts_ns, uint64_t delta = 1) {
-    buckets_[BucketOf(ts_ns)] += delta;
+    // Hot path: successive samples overwhelmingly land in the current
+    // window, so the last bucket's slot is cached and the map (a tree
+    // walk + possible node allocation) is consulted only on window
+    // rollover. std::map nodes are stable, so the cached pointer
+    // survives unrelated insertions.
+    const uint64_t b = BucketOf(ts_ns);
+    if (cached_slot_ == nullptr || b != cached_bucket_) {
+      cached_slot_ = &buckets_[b];
+      cached_bucket_ = b;
+    }
+    *cached_slot_ += delta;
     total_ += delta;
   }
 
@@ -99,11 +109,15 @@ class CounterSeries : public TimeSeriesBase {
   void Reset() {
     buckets_.clear();
     total_ = 0;
+    cached_slot_ = nullptr;
+    cached_bucket_ = 0;
   }
 
  private:
   std::map<uint64_t, uint64_t> buckets_;  // sorted: deterministic export
   uint64_t total_ = 0;
+  uint64_t* cached_slot_ = nullptr;  // last-touched bucket's value slot
+  uint64_t cached_bucket_ = 0;
 };
 
 /// Gauge-sample flavor: per-window last/min/max of an instantaneous

@@ -126,6 +126,7 @@ Status RecoveryManager::FlushBin(uint32_t bin_index, PartitionBin* bin,
   auto lsn = log_writer_->FlushBinPage(
       bin, slt_->config().directory_entries, now_ns, &done_ns);
   if (!lsn.ok()) return lsn.status();
+  slt_->NoteBinDrained(*bin);
   ++pages_flushed_;
   if (!had_disk_pages) {
     // Partition becomes active on disk: place it on the First-LSN list.

@@ -237,6 +237,8 @@ Status Disk::ReadTrackInto(uint64_t first_page_no, uint32_t pages,
   }
   uint64_t track_bytes = 0;
   size_t restore_size = out->size();
+  out->reserve(restore_size +
+               static_cast<size_t>(pages) * params_.page_size_bytes);
   for (uint32_t i = 0; i < pages; ++i) {
     auto it = store_.find(first_page_no + i);
     if (it == store_.end()) {

@@ -2,34 +2,53 @@
 #define MMDB_SIM_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "util/status.h"
 
 namespace mmdb::sim {
 
-/// Deterministic discrete-event scheduler over the simulated devices.
+/// Deterministic discrete-event scheduler over the simulated devices —
+/// the single global event loop shared by transaction workers, recovery
+/// lanes, the background sweep, and the checkpoint/pump maintenance
+/// tick.
 ///
-/// Events are (ready time, submission sequence) pairs drained in strictly
-/// ascending order; an event's callback performs its device operation
-/// (Disk reads/writes, CPU-lane occupancy) and may submit follow-up
-/// events at or after its own ready time. Because every device serializes
-/// requests on its own busy-until timeline (max(ready, busy_until) start
-/// rule), invoking the operations in global ready order yields per-device
-/// FCFS service identical to a queue per device — with completion times
-/// that interleave across devices, which is what lets checkpoint-image
-/// transfer, log-page reads, and record apply overlap on the virtual
-/// timeline.
+/// Events are (ready time, priority, submission sequence) triples
+/// drained in strictly ascending order; an event's callback performs its
+/// device operation (Disk reads/writes, CPU-lane occupancy) and may
+/// submit follow-up events at or after its own ready time. Because every
+/// device serializes requests on its own busy-until timeline
+/// (max(ready, busy_until) start rule), invoking the operations in
+/// global ready order yields per-device FCFS service identical to a
+/// queue per device — with completion times that interleave across
+/// devices, which is what lets checkpoint-image transfer, log-page
+/// reads, record apply, and transaction operations overlap on the
+/// virtual timeline.
 ///
-/// Determinism: ties on ready time break by submission order, submission
-/// order is program order, and no wall-clock or randomness is involved —
-/// the same initial events always produce the same trajectory.
+/// Determinism: ties on ready time break by (priority, submission
+/// order), submission order is program order, and no wall-clock or
+/// randomness is involved — the same initial events always produce the
+/// same trajectory. The priority field exists so the unified transaction
+/// loop can reproduce the legacy "lowest worker index wins ties" rule
+/// exactly (worker lanes submit with pri = lane index); plain At() uses
+/// a fixed default priority, which leaves pure-recovery schedules
+/// ordered by (time, seq) as before.
+///
+/// Host-time hot path: the heap proper holds only 24-byte POD ordering
+/// keys (ready time, priority, seq, slab slot) managed with
+/// std::push_heap/pop_heap, so every sift step moves three words instead
+/// of a whole callback. The callbacks themselves are SmallFn
+/// small-buffer callables parked in a slab indexed by the key's slot and
+/// recycled through a free list — steady-state event submission touches
+/// no allocator at all (Reserve pre-sizes heap, slab, and free list).
 class EventScheduler {
  public:
-  using Fn = std::function<void(uint64_t now_ns)>;
+  using Fn = SmallFn;
+
+  /// Tie-break priority used by At() without an explicit priority.
+  static constexpr uint32_t kDefaultPri = 1u << 30;
 
   EventScheduler() = default;
   EventScheduler(const EventScheduler&) = delete;
@@ -38,7 +57,19 @@ class EventScheduler {
   /// Schedules `fn` to run at virtual time `when_ns` (clamped forward to
   /// the currently running event's time: the simulation cannot submit
   /// work into its own past).
-  void At(uint64_t when_ns, Fn fn);
+  void At(uint64_t when_ns, Fn fn) { At(when_ns, kDefaultPri, std::move(fn)); }
+
+  /// Same, with an explicit tie-break priority: at equal ready times a
+  /// lower `pri` runs first, before submission order is consulted.
+  void At(uint64_t when_ns, uint32_t pri, Fn fn);
+
+  /// Pre-sizes the event heap and callback slab (allocation-free
+  /// submission afterwards, until the reservation is outgrown).
+  void Reserve(size_t events) {
+    heap_.reserve(events);
+    fns_.reserve(events);
+    free_slots_.reserve(events);
+  }
 
   /// Drains the event heap. Stops early if any callback called Fail().
   /// Returns the first failure, or OK when the heap ran dry.
@@ -53,24 +84,38 @@ class EventScheduler {
   uint64_t now_ns() const { return now_ns_; }
 
   uint64_t events_run() const { return events_run_; }
+  /// High-water mark of pending events (heap depth).
+  size_t peak_depth() const { return peak_depth_; }
+  size_t depth() const { return heap_.size(); }
+  /// Submissions whose callback captures did not fit SmallFn's inline
+  /// buffer (each one cost a heap allocation; hot paths keep this 0).
+  uint64_t heap_fallbacks() const { return heap_fallbacks_; }
 
  private:
+  /// Heap entry: ordering key plus the callback's slab slot. POD and
+  /// 24 bytes, so push_heap/pop_heap sifts stay cheap at any depth.
   struct Event {
     uint64_t when_ns;
     uint64_t seq;
-    Fn fn;
+    uint32_t pri;
+    uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
-      return a.seq > b.seq;
-    }
-  };
+  /// std::push_heap max-heap comparator: "a orders after b" — the top of
+  /// the heap is then the event that runs first.
+  static bool Later(const Event& a, const Event& b) {
+    if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+    if (a.pri != b.pri) return a.pri > b.pri;
+    return a.seq > b.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
+  std::vector<Fn> fns_;                  // callback slab, heap_[i].slot
+  std::vector<uint32_t> free_slots_;     // recycled slab slots
   uint64_t next_seq_ = 0;
   uint64_t now_ns_ = 0;
   uint64_t events_run_ = 0;
+  uint64_t heap_fallbacks_ = 0;
+  size_t peak_depth_ = 0;
   Status status_ = Status::OK();
 };
 

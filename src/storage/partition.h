@@ -96,6 +96,14 @@ class Partition {
   /// mirrors the Stable Log Tail's per-bin update count for sanity checks.
   uint64_t update_count() const { return update_count_; }
 
+  /// Access-heat counter driving the heat-ordered background sweep: the
+  /// database bumps it on every resident-partition reference, and
+  /// Crash() harvests the counts so the post-crash sweep restores the
+  /// Zipf-hot partitions first. Volatile bookkeeping only — never part
+  /// of the checkpoint image, so recovered partitions restart cold.
+  void Touch() { ++heat_; }
+  uint64_t heat() const { return heat_; }
+
  private:
   struct Header;
   Header* header();
@@ -113,6 +121,7 @@ class Partition {
 
   std::vector<uint8_t> buf_;
   uint64_t update_count_ = 0;
+  uint64_t heat_ = 0;
 };
 
 }  // namespace mmdb

@@ -16,13 +16,16 @@ Result<Partition*> PartitionManager::CreatePartition(SegmentId segment,
   auto p = std::make_unique<Partition>(id, partition_size_bytes_, bin_index);
   Partition* raw = p.get();
   partitions_[id] = std::move(p);
+  IndexPartition(raw);
   return raw;
 }
 
 Status PartitionManager::InstallRecovered(std::unique_ptr<Partition> p) {
   PartitionId id = p->id();
   BumpCounters(id.segment + 1, id);
+  Partition* raw = p.get();
   partitions_[id] = std::move(p);
+  IndexPartition(raw);
   return Status::OK();
 }
 
@@ -30,6 +33,17 @@ Status PartitionManager::DropPartition(PartitionId id) {
   auto it = partitions_.find(id);
   if (it == partitions_.end()) {
     return Status::NotFound("partition not resident");
+  }
+  // Unlink from the segment index before the owning map frees it.
+  auto seg = by_segment_.find(id.segment);
+  if (seg != by_segment_.end()) {
+    auto& v = seg->second;
+    for (auto p = v.begin(); p != v.end(); ++p) {
+      if ((*p)->id().number == id.number) {
+        v.erase(p);
+        break;
+      }
+    }
   }
   partitions_.erase(it);
   return Status::OK();
@@ -44,16 +58,27 @@ Result<Partition*> PartitionManager::Get(PartitionId id) const {
   return it->second.get();
 }
 
-std::vector<Partition*> PartitionManager::SegmentPartitions(
+const std::vector<Partition*>& PartitionManager::SegmentPartitions(
     SegmentId segment) const {
-  std::vector<Partition*> out;
-  for (const auto& [id, p] : partitions_) {
-    if (id.segment == segment) out.push_back(p.get());
+  static const std::vector<Partition*> kEmpty;
+  auto it = by_segment_.find(segment);
+  return it == by_segment_.end() ? kEmpty : it->second;
+}
+
+void PartitionManager::IndexPartition(Partition* p) {
+  auto& v = by_segment_[p->id().segment];
+  // Sorted insert by partition number; replaces a recovered duplicate.
+  // Numbers grow monotonically in normal operation, so this is almost
+  // always a plain push_back; recovery installs can arrive out of order.
+  auto pos = std::lower_bound(v.begin(), v.end(), p->id().number,
+                              [](Partition* q, uint32_t number) {
+                                return q->id().number < number;
+                              });
+  if (pos != v.end() && (*pos)->id().number == p->id().number) {
+    *pos = p;
+  } else {
+    v.insert(pos, p);
   }
-  std::sort(out.begin(), out.end(), [](Partition* a, Partition* b) {
-    return a->id().number < b->id().number;
-  });
-  return out;
 }
 
 std::vector<Partition*> PartitionManager::AllPartitions() const {

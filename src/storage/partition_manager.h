@@ -60,7 +60,11 @@ class PartitionManager {
   }
 
   /// All resident partitions of a segment, in partition-number order.
-  std::vector<Partition*> SegmentPartitions(SegmentId segment) const;
+  /// Backed by an eagerly maintained per-segment index — the insert
+  /// path's first-fit scan calls this once per tuple, and rebuilding
+  /// (walk every resident partition, sort) per call dominated host time
+  /// at million-row scale.
+  const std::vector<Partition*>& SegmentPartitions(SegmentId segment) const;
 
   /// All resident partitions (checkpoint sweeps, invariant checks).
   std::vector<Partition*> AllPartitions() const;
@@ -68,17 +72,26 @@ class PartitionManager {
   size_t resident_count() const { return partitions_.size(); }
 
   /// Simulated crash: wipe every volatile partition.
-  void Clear() { partitions_.clear(); }
+  void Clear() {
+    partitions_.clear();
+    by_segment_.clear();
+  }
 
   /// Restores allocation counters after restart so future segment and
   /// partition numbers do not collide with recovered ones.
   void BumpCounters(SegmentId min_next_segment, PartitionId seen);
 
  private:
+  /// Places `p` into its segment's number-ordered index (replacing any
+  /// previous entry with the same partition number).
+  void IndexPartition(Partition* p);
+
   uint32_t partition_size_bytes_;
   SegmentId next_segment_ = 1;  // segment 0 reserved for "null"
   std::unordered_map<SegmentId, uint32_t> next_partition_number_;
   std::unordered_map<PartitionId, std::unique_ptr<Partition>> partitions_;
+  /// Per-segment view of partitions_, kept sorted by partition number.
+  std::unordered_map<SegmentId, std::vector<Partition*>> by_segment_;
 };
 
 }  // namespace mmdb

@@ -12,6 +12,7 @@ ConcurrentExecutor::ConcurrentExecutor(Database* db, Options opts)
   uint32_t n = db->options().txn_workers;
   if (n == 0) n = 1;
   lanes_.resize(n);
+  free_lanes_ = n;
   for (uint32_t w = 0; w < n; ++w) {
     lanes_[w].cpu = std::make_unique<sim::CpuModel>(
         "txn-worker-" + std::to_string(w), db->options().main_cpu_mips);
@@ -24,6 +25,10 @@ ConcurrentExecutor::ConcurrentExecutor(Database* db, Options opts)
       db->metrics().counter("txn.deadlocks", obs::Scope::kVolatile);
   m_worker_busy_ns_ =
       db->metrics().histogram("txn.worker_busy_ns", obs::Scope::kVolatile);
+  m_sched_events_ =
+      db->metrics().counter("scheduler.events_run", obs::Scope::kVolatile);
+  m_sched_peak_depth_ =
+      db->metrics().gauge("scheduler.peak_heap_depth", obs::Scope::kVolatile);
   obs::MetricsRegistry& reg = db->metrics();
   s_commit_latency_ =
       reg.sketch("txn.sketch.commit_latency_ns", obs::Scope::kVolatile);
@@ -76,14 +81,38 @@ void ConcurrentExecutor::DrainGrants() {
 }
 
 void ConcurrentExecutor::UnblockTxn(uint64_t txn_id, uint64_t grant_ns) {
-  for (Lane& l : lanes_) {
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& l = lanes_[i];
     if (l.blocked && l.txn != nullptr && l.txn->id() == txn_id) {
       l.blocked = false;
       if (grant_ns > l.park_ns) l.lock_wait_ns += grant_ns - l.park_ns;
       // The worker slept from its park time until the grant.
       l.cpu->IdleUntil(grant_ns);
+      MarkDirty(i);
       return;
     }
+  }
+}
+
+void ConcurrentExecutor::AdmitScripts() {
+  // O(1) in the steady state: the lane scan only runs when a script is
+  // waiting *and* some lane is actually free (free_lanes_ counts them).
+  if (admit_cursor_ >= scripts_.size() || free_lanes_ == 0) return;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& l = lanes_[i];
+    if (l.script != -1) continue;
+    if (admit_cursor_ >= scripts_.size()) break;
+    l.script = static_cast<int>(admit_cursor_++);
+    --free_lanes_;
+    l.txn = nullptr;
+    l.next_op = 0;
+    l.blocked = false;
+    l.attempt_begin_ns = 0;
+    l.queue_wait_ns = 0;
+    l.queue_recorded = false;
+    l.lock_wait_ns = 0;
+    l.park_ns = 0;
+    MarkDirty(i);
   }
 }
 
@@ -143,11 +172,13 @@ Status ConcurrentExecutor::AbortVictims(const std::vector<uint64_t>& victims,
       r.error = Status::Busy("deadlock retry budget exhausted");
       r.txn_id = vid;
       lane.script = -1;
+      ++free_lanes_;
       ResetForRetry(&lane);
     } else {
       // Retry from scratch on the same worker with a fresh transaction.
       ResetForRetry(&lane);
     }
+    MarkDirty(li);
   }
   return Status::OK();
 }
@@ -224,6 +255,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
         result.outcome = ScriptOutcome::kAborted;
         result.error = Status::Busy("deadlock retry budget exhausted");
         lane.script = -1;
+        ++free_lanes_;
       }
       ResetForRetry(&lane);
       // Other cycles closed by the same request may have appointed
@@ -256,6 +288,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
       result.outcome = ScriptOutcome::kAborted;
       result.error = st;
       lane.script = -1;
+      ++free_lanes_;
       ResetForRetry(&lane);
       return Status::OK();
     }
@@ -284,29 +317,19 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
   result.commit_csn = db_->last_commit_csn();
   commit_order_.push_back(txn_id);
   lane.script = -1;
+  ++free_lanes_;
   ResetForRetry(&lane);
   return Status::OK();
 }
 
 Status ConcurrentExecutor::Run() {
+  return opts_.unified_event_loop ? RunEventLoop() : RunLegacy();
+}
+
+Status ConcurrentExecutor::RunLegacy() {
   for (;;) {
     DrainGrants();
-
-    // Admit pending scripts to free workers, submission order, lowest
-    // worker index first.
-    for (Lane& l : lanes_) {
-      if (l.script != -1) continue;
-      if (admit_cursor_ >= scripts_.size()) break;
-      l.script = static_cast<int>(admit_cursor_++);
-      l.txn = nullptr;
-      l.next_op = 0;
-      l.blocked = false;
-      l.attempt_begin_ns = 0;
-      l.queue_wait_ns = 0;
-      l.queue_recorded = false;
-      l.lock_wait_ns = 0;
-      l.park_ns = 0;
-    }
+    AdmitScripts();
 
     // Pick the runnable worker with the earliest (busy-until, index).
     size_t pick = lanes_.size();
@@ -335,7 +358,170 @@ Status ConcurrentExecutor::Run() {
 
     MMDB_RETURN_IF_ERROR(DispatchOne(pick));
   }
+  return FinishRun();
+}
 
+// --- unified event loop -------------------------------------------------------
+//
+// Equivalence to the legacy scan: the loop maintains the invariant that
+// every runnable lane (script assigned, not parked) has exactly one
+// pending current-generation event at (its busy-until, pri = lane
+// index). All lane state changes happen inside event callbacks, and each
+// callback ends by rescheduling every lane it touched — so at every pop
+// the heap's minimum over (when, pri) is exactly the legacy argmin over
+// (busy-until, index), including the lowest-index-wins tie-break.
+// Grants are drained and scripts admitted after each dispatch — the same
+// point, relative to the next pick, as the legacy top-of-round preamble.
+
+void ConcurrentExecutor::MarkDirty(size_t li) {
+  if (sched_ == nullptr) return;
+  ++lane_gen_[li];  // a pending event for this lane is now stale
+  lane_live_[li] = false;
+  dirty_.push_back(li);
+}
+
+void ConcurrentExecutor::ScheduleLane(size_t li) {
+  Lane& l = lanes_[li];
+  if (l.script == -1 || l.blocked || lane_live_[li]) return;
+  lane_live_[li] = true;
+  const uint64_t gen = lane_gen_[li];
+  sched_->At(l.cpu->busy_until_ns(), static_cast<uint32_t>(li),
+             [this, li, gen](uint64_t t) { LaneEvent(li, gen, t); });
+}
+
+void ConcurrentExecutor::FlushDirty() {
+  for (size_t li : dirty_) ScheduleLane(li);
+  dirty_.clear();
+}
+
+void ConcurrentExecutor::LaneEvent(size_t li, uint64_t gen, uint64_t now_ns) {
+  (void)now_ns;
+  if (gen != lane_gen_[li]) return;  // superseded while queued
+  lane_live_[li] = false;
+  Status st = DispatchOne(li);
+  if (!st.ok()) {
+    sched_->Fail(st);
+    return;
+  }
+  DrainGrants();
+  AdmitScripts();
+  FlushDirty();
+  // This lane's own event just fired (nothing pending to invalidate), so
+  // it reschedules directly at its moved busy-until — one heap push, no
+  // generation churn. If admission or a grant already rescheduled it,
+  // lane_live_ makes this a no-op.
+  ScheduleLane(li);
+}
+
+void ConcurrentExecutor::StartSweep(uint32_t lane, uint64_t now_ns) {
+  Database::RecoveryWorkItem item;
+  if (!db_->NextSweepItem(&item)) return;  // lane drains
+  uint64_t done_ns = 0;
+  uint64_t records = 0;
+  std::unique_ptr<Partition> part;
+  Status st = db_->SweepRecoverPartition(item, now_ns, &sweep_cpu_[lane],
+                                         &done_ns, &part, &records);
+  if (!st.ok()) {
+    sched_->Fail(st);
+    return;
+  }
+  ++sweep_inflight_;
+  // The install mutates shared state (partition manager, catalog), so it
+  // runs as its own event at the rebuild's completion instant — at the
+  // scheduler's default priority, which loses virtual-time ties to
+  // transaction dispatches (background work stays background).
+  const uint64_t start_ns = now_ns;
+  sched_->At(done_ns, [this, lane, start_ns, records,
+                       part = std::move(part)](uint64_t t) mutable {
+    --sweep_inflight_;
+    bool installed = false;
+    Status ist = db_->InstallSweepPartition(std::move(part), start_ns, t,
+                                            records, lane, &installed);
+    if (!ist.ok()) {
+      sched_->Fail(ist);
+      return;
+    }
+    if (installed) {
+      ++sweep_recovered_;
+      last_sweep_install_ns_ = t;
+    }
+    StartSweep(lane, t);
+  });
+}
+
+void ConcurrentExecutor::MaintenanceTick(uint64_t now_ns) {
+  Status st = db_->PumpRecovery();
+  if (st.ok()) st = db_->RunCheckpoints();
+  if (!st.ok()) {
+    sched_->Fail(st);
+    return;
+  }
+  // Keep ticking only while something else is scheduled: when the tick
+  // is the last event on the heap, every worker has finished (or is
+  // wedged) and every sweep lane has drained, so the loop winds down.
+  if (sched_->depth() > 0) {
+    sched_->At(now_ns + opts_.maintenance_tick_ns,
+               [this](uint64_t t) { MaintenanceTick(t); });
+  }
+}
+
+Status ConcurrentExecutor::RunEventLoop() {
+  sim::EventScheduler sched;
+  sched_ = &sched;
+  lane_gen_.assign(lanes_.size(), 0);
+  lane_live_.assign(lanes_.size(), false);
+  dirty_.clear();
+  sweep_inflight_ = 0;
+  sweep_recovered_ = 0;
+  last_sweep_install_ns_ = 0;
+
+  uint32_t sweep_lanes = 0;
+  if (opts_.background_sweep) {
+    sweep_lanes = opts_.sweep_lanes != 0
+                      ? opts_.sweep_lanes
+                      : std::max<uint32_t>(1, db_->options().recovery_parallelism);
+  }
+  sched.Reserve(2 * lanes_.size() + 2 * sweep_lanes + 16);
+
+  DrainGrants();
+  AdmitScripts();
+  dirty_.clear();
+  for (size_t li = 0; li < lanes_.size(); ++li) ScheduleLane(li);
+
+  if (opts_.background_sweep) {
+    const uint64_t t0 = db_->now_ns();
+    sweep_cpu_.clear();
+    sweep_cpu_.reserve(sweep_lanes);
+    for (uint32_t s = 0; s < sweep_lanes; ++s) {
+      sweep_cpu_.emplace_back("sweep-lane-" + std::to_string(s));
+      sched.At(t0, [this, s](uint64_t t) { StartSweep(s, t); });
+    }
+    sched.At(t0 + opts_.maintenance_tick_ns,
+             [this](uint64_t t) { MaintenanceTick(t); });
+  }
+
+  Status st = sched.Run();
+  sched_events_run_ = sched.events_run();
+  sched_peak_depth_ = sched.peak_depth();
+  sched_heap_fallbacks_ = sched.heap_fallbacks();
+  sched_ = nullptr;
+  MMDB_RETURN_IF_ERROR(st);
+
+  m_sched_events_->Add(sched_events_run_);
+  m_sched_peak_depth_->Set(static_cast<double>(sched_peak_depth_));
+
+  // The heap ran dry. Any script still in flight means every in-flight
+  // transaction was parked with nothing left to release a lock — the
+  // legacy loop's wedge condition.
+  for (const Lane& l : lanes_) {
+    if (l.script != -1) {
+      return Status::Corruption("executor wedged: all workers blocked");
+    }
+  }
+  return FinishRun();
+}
+
+Status ConcurrentExecutor::FinishRun() {
   for (const Lane& l : lanes_) {
     // Busy = work actually charged to the worker (instructions at this
     // CPU's rate), excluding idle gaps spent parked or waiting on I/O.

@@ -9,6 +9,7 @@
 
 #include "core/database.h"
 #include "sim/cpu.h"
+#include "sim/scheduler.h"
 #include "util/status.h"
 
 namespace mmdb {
@@ -66,11 +67,41 @@ struct ScriptResult {
 /// No host threads anywhere: same seed + same worker count -> identical
 /// commit order, metrics, and trace, which is what the serializability/
 /// determinism test layer asserts.
+///
+/// Two dispatch engines produce that schedule. The default runs on the
+/// global sim::EventScheduler (the unified event loop): every runnable
+/// worker keeps exactly one pending event at (busy-until, pri = worker
+/// index), so the scheduler's pop order *is* the legacy argmin rule and
+/// the two engines are byte-identical — but next-worker selection is
+/// O(log workers) heap maintenance instead of an O(workers) rescan of
+/// every lane per dispatched operation, which is what makes GB-scale
+/// multi-worker experiments affordable in host time. The legacy scan
+/// loop is kept as the equivalence baseline (unified_event_loop=false).
+///
+/// The unified loop can additionally interleave the heat-ordered
+/// background recovery sweep (background_sweep=true, post-crash): N
+/// recovery lanes rebuild non-resident partitions as events between
+/// transaction operations on the same heap, installing each partition at
+/// its virtual completion instant, with a periodic maintenance tick
+/// pumping the sort process and checkpointer. Transactions, recovery
+/// lanes, and the sweep then genuinely share one virtual timeline.
 class ConcurrentExecutor {
  public:
   struct Options {
     /// A script that loses this many deadlocks is abandoned (kAborted).
     uint32_t max_deadlock_retries = 32;
+    /// Dispatch on the global event loop (see class comment). The
+    /// schedule is byte-identical either way; false selects the legacy
+    /// O(workers)-per-operation scan loop, the equivalence baseline.
+    bool unified_event_loop = true;
+    /// Interleave the heat-ordered background recovery sweep with
+    /// transaction execution (unified loop only).
+    bool background_sweep = false;
+    /// Sweep recovery lanes; 0 = DatabaseOptions::recovery_parallelism.
+    uint32_t sweep_lanes = 0;
+    /// Maintenance tick period (background_sweep only): pumps the
+    /// recovery CPU's sort process and pending checkpoints as events.
+    uint64_t maintenance_tick_ns = 1'000'000;
   };
 
   explicit ConcurrentExecutor(Database* db) : ConcurrentExecutor(db, {}) {}
@@ -99,6 +130,16 @@ class ConcurrentExecutor {
   uint64_t waits() const { return waits_; }
   uint64_t deadlocks() const { return deadlocks_; }
 
+  /// Unified-loop statistics from the most recent Run() (zero after a
+  /// legacy-loop run).
+  uint64_t scheduler_events_run() const { return sched_events_run_; }
+  size_t scheduler_peak_depth() const { return sched_peak_depth_; }
+  uint64_t scheduler_heap_fallbacks() const { return sched_heap_fallbacks_; }
+  /// Partitions installed by the interleaved sweep, and the virtual time
+  /// of the last install (proof the sweep overlapped the transactions).
+  uint64_t sweep_recovered() const { return sweep_recovered_; }
+  uint64_t last_sweep_install_ns() const { return last_sweep_install_ns_; }
+
  private:
   struct Lane {
     std::unique_ptr<sim::CpuModel> cpu;
@@ -120,6 +161,9 @@ class ConcurrentExecutor {
   /// workers at the grant instant.
   void DrainGrants();
   void UnblockTxn(uint64_t txn_id, uint64_t grant_ns);
+  /// Admits pending scripts to free workers, submission order, lowest
+  /// worker index first (the shared round preamble of both engines).
+  void AdmitScripts();
   /// Dispatches one step (Begin+op, op, or Commit) of lane `li`'s script.
   Status DispatchOne(size_t li);
   /// Aborts parked deadlock victims at `now_ns` and resets their scripts
@@ -127,6 +171,32 @@ class ConcurrentExecutor {
   Status AbortVictims(const std::vector<uint64_t>& victims, uint64_t now_ns);
   /// Resets lane state so the script retries from scratch.
   void ResetForRetry(Lane* lane);
+
+  // --- unified event loop -----------------------------------------------------
+  Status RunEventLoop();
+  /// The legacy per-operation argmin scan (the equivalence baseline).
+  Status RunLegacy();
+  /// Invalidates lane `li`'s pending dispatch event (its state changed)
+  /// and queues it for rescheduling at the end of the current event.
+  /// No-op outside an event-loop run.
+  void MarkDirty(size_t li);
+  /// Schedules a dispatch event for lane `li` at its (busy-until, index)
+  /// if it is runnable and has none pending.
+  void ScheduleLane(size_t li);
+  /// Reschedules every lane MarkDirty() touched during this event.
+  void FlushDirty();
+  /// One dispatch event: runs lane `li`'s next step, then the round
+  /// postamble (drain grants, admit, reschedule touched lanes).
+  void LaneEvent(size_t li, uint64_t gen, uint64_t now_ns);
+  /// Pulls the next sweep item onto sweep lane `lane`: rebuilds it
+  /// time-functionally and schedules the install at its completion.
+  void StartSweep(uint32_t lane, uint64_t now_ns);
+  /// Periodic sort-process + checkpointer pump (background_sweep only);
+  /// stops rescheduling once it is the only thing left on the heap.
+  void MaintenanceTick(uint64_t now_ns);
+
+  /// Shared Run() tail: per-worker busy accounting + the epoch fence.
+  Status FinishRun();
 
   /// Records the committed/aborted transaction's phase breakdown into
   /// the txn.sketch.* percentile sketches.
@@ -141,12 +211,35 @@ class ConcurrentExecutor {
   std::vector<ScriptResult> results_;
   std::vector<uint64_t> submit_ns_;  // parallel to scripts_
   size_t admit_cursor_ = 0;
+  /// Lanes with no script assigned — lets AdmitScripts skip its lane
+  /// scan entirely in the steady state (every dispatch calls it).
+  size_t free_lanes_ = 0;
   std::vector<uint64_t> commit_order_;
   uint64_t waits_ = 0;
   uint64_t deadlocks_ = 0;
+
+  /// Event-loop state, live only inside RunEventLoop(). `lane_gen_[li]`
+  /// invalidates stale dispatch events (an event captures the generation
+  /// it was scheduled under and returns early on mismatch);
+  /// `lane_live_[li]` says a current-generation event is pending, so a
+  /// runnable lane keeps exactly one.
+  sim::EventScheduler* sched_ = nullptr;
+  std::vector<uint64_t> lane_gen_;
+  std::vector<bool> lane_live_;
+  std::vector<size_t> dirty_;
+  std::vector<sim::DeviceTimeline> sweep_cpu_;
+  uint32_t sweep_inflight_ = 0;
+  uint64_t sweep_recovered_ = 0;
+  uint64_t last_sweep_install_ns_ = 0;
+  uint64_t sched_events_run_ = 0;
+  size_t sched_peak_depth_ = 0;
+  uint64_t sched_heap_fallbacks_ = 0;
   obs::Counter* m_waits_ = nullptr;
   obs::Counter* m_deadlocks_ = nullptr;
   obs::Histogram* m_worker_busy_ns_ = nullptr;
+  /// Unified-loop observability (zero after a legacy run).
+  obs::Counter* m_sched_events_ = nullptr;
+  obs::Gauge* m_sched_peak_depth_ = nullptr;
   /// Per-txn latency percentiles (p50/p95/p99/p999), split by outcome
   /// and by phase: queue-wait (submit -> first admission), lock-wait
   /// (parked on grants, final attempt), execute (operation work),

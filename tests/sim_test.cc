@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "sim/clock.h"
 #include "sim/cpu.h"
 #include "sim/disk.h"
+#include "sim/scheduler.h"
+#include "sim/small_fn.h"
 #include "sim/stable_memory.h"
 #include "test_util.h"
 
@@ -174,6 +181,92 @@ TEST(StableMemoryMeterTest, HighWaterTracksPeak) {
   m.Allocate(100);
   m.NoteHighWater();
   EXPECT_EQ(m.high_water_bytes(), 700u);
+}
+
+TEST(SmallFnTest, InlineCaptureInvokesAndMoves) {
+  uint64_t hits = 0;
+  SmallFn f([&hits](uint64_t t) { hits += t; });
+  EXPECT_TRUE(f.is_inline());
+  f(5);
+  SmallFn g = std::move(f);
+  g(7);
+  EXPECT_EQ(hits, 12u);
+}
+
+TEST(SmallFnTest, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this; SmallFn must (sweep install events
+  // carry the rebuilt partition by unique_ptr).
+  auto p = std::make_unique<uint64_t>(41);
+  uint64_t got = 0;
+  SmallFn f([p = std::move(p), &got](uint64_t t) { got = *p + t; });
+  EXPECT_TRUE(f.is_inline());
+  f(1);
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(SmallFnTest, OversizedCaptureFallsBackToHeap) {
+  std::array<uint64_t, 32> big{};  // 256 bytes > the inline buffer
+  big[31] = 9;
+  uint64_t got = 0;
+  SmallFn f([big, &got](uint64_t) { got = big[31]; });
+  EXPECT_FALSE(f.is_inline());
+  SmallFn g = std::move(f);  // heap case relocates by pointer swap
+  g(0);
+  EXPECT_EQ(got, 9u);
+}
+
+TEST(EventSchedulerTest, RunsInTimeOrderWithSeqTieBreak) {
+  EventScheduler s;
+  std::vector<int> order;
+  s.At(20, [&](uint64_t) { order.push_back(2); });
+  s.At(10, [&](uint64_t) { order.push_back(1); });
+  s.At(10, [&](uint64_t) { order.push_back(3); });  // same time: after 1
+  ASSERT_OK(s.Run());
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(s.now_ns(), 20u);
+  EXPECT_EQ(s.events_run(), 3u);
+}
+
+TEST(EventSchedulerTest, PriorityBreaksTimeTiesBeforeSubmissionOrder) {
+  // The unified transaction loop submits worker events with pri = lane
+  // index; at equal ready times the lowest index must win even when it
+  // was submitted last — the legacy argmin's tie-break rule.
+  EventScheduler s;
+  std::vector<uint32_t> order;
+  s.At(10, 3, [&](uint64_t) { order.push_back(3); });
+  s.At(10, 1, [&](uint64_t) { order.push_back(1); });
+  s.At(10, 2, [&](uint64_t) { order.push_back(2); });
+  ASSERT_OK(s.Run());
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(EventSchedulerTest, TracksPeakDepthAndHeapFallbacks) {
+  EventScheduler s;
+  s.Reserve(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    s.At(10 * (i + 1), [](uint64_t) {});
+  }
+  EXPECT_EQ(s.depth(), 5u);
+  ASSERT_OK(s.Run());
+  EXPECT_EQ(s.peak_depth(), 5u);
+  EXPECT_EQ(s.depth(), 0u);
+  // All the no-capture callbacks above fit inline.
+  EXPECT_EQ(s.heap_fallbacks(), 0u);
+  std::array<uint64_t, 32> big{};
+  s.At(100, [big](uint64_t) { (void)big; });
+  EXPECT_EQ(s.heap_fallbacks(), 1u);
+  ASSERT_OK(s.Run());
+}
+
+TEST(EventSchedulerTest, CallbackSubmissionClampsToNow) {
+  EventScheduler s;
+  uint64_t ran_at = 0;
+  s.At(100, [&](uint64_t t) {
+    // An event may not schedule into its own past.
+    s.At(t - 50, [&](uint64_t t2) { ran_at = t2; });
+  });
+  ASSERT_OK(s.Run());
+  EXPECT_EQ(ran_at, 100u);
 }
 
 }  // namespace

@@ -87,6 +87,39 @@ TEST(Crc32Test, DetectsBitFlip) {
   EXPECT_NE(before, Crc32(data.data(), data.size()));
 }
 
+TEST(Crc32Test, SlicedMatchesReferenceAtAllLengths) {
+  // The word-folding fast path and the byte-serial reference must agree
+  // for every length (0, sub-word tails, word-aligned) and seed — disk
+  // checksums written by one implementation are verified by the other in
+  // the bench's pre/post-unification A/B phases.
+  Random rng(42);
+  std::vector<uint8_t> buf(4096);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Uniform(256));
+  for (size_t n = 0; n <= 64; ++n) {
+    EXPECT_EQ(Crc32(buf.data(), n), Crc32Reference(buf.data(), n))
+        << "length " << n;
+  }
+  for (size_t n : {65u, 127u, 128u, 1000u, 4096u}) {
+    uint32_t seed = static_cast<uint32_t>(rng.Uniform(1u << 31));
+    EXPECT_EQ(Crc32(buf.data(), n, seed), Crc32Reference(buf.data(), n, seed))
+        << "length " << n;
+  }
+  // Unaligned starts exercise the memcpy word loads.
+  for (size_t off : {1u, 3u, 7u}) {
+    EXPECT_EQ(Crc32(buf.data() + off, 256),
+              Crc32Reference(buf.data() + off, 256));
+  }
+}
+
+TEST(Crc32Test, ReferenceToggleRoutesFastPath) {
+  std::vector<uint8_t> data = testing::FilledBytes(512, 3);
+  uint32_t fast = Crc32(data.data(), data.size());
+  UseReferenceCrc32(true);
+  uint32_t routed = Crc32(data.data(), data.size());
+  UseReferenceCrc32(false);
+  EXPECT_EQ(fast, routed);
+}
+
 TEST(RandomTest, DeterministicForSeed) {
   Random a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());

@@ -18,6 +18,13 @@ coverage floors: the run FAILS if a count drops below
 baseline * (1 - tolerance) — a sparser curve means the experiment lost
 signal, while a denser one is fine.
 
+A bench may also carry a top-level "host" section of machine-local
+measurements (host seconds, sim-txns-per-host-second from
+bench_sim_scale). Absolute host rates vary with the runner, so they are
+reported as info only; `speedup` keys are within-run ratios (both phases
+run on the same machine) and are gated higher-is-better at a loosened
+tolerance of max(tolerance, 0.25).
+
 Exit status 1 on any regression, so CI can gate on it. Improvements are
 reported; refresh the baselines to lock them in.
 """
@@ -87,6 +94,27 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
         if regressed:
             failures.append(
                 f"timeseries.{key}: {base_val:.0f} -> {curr_val:.0f}")
+
+    base_host = base.get("host", {})
+    curr_host = curr.get("host", {})
+    host_tol = max(tolerance, 0.25)
+    for key, base_val in sorted(base_host.items()):
+        if not isinstance(base_val, (int, float)):
+            continue
+        curr_val = curr_host.get(key)
+        if curr_val is None:
+            failures.append(f"host.{key}: missing from current run")
+            continue
+        # Only within-run ratios are comparable across machines.
+        is_ratio = "speedup" in key
+        regressed = is_ratio and curr_val < base_val * (1 - host_tol)
+        marker = "REGRESSION" if regressed else ("ok" if is_ratio else "info")
+        print(f"  host.{key:35s} {base_val:12.3f} -> {curr_val:12.3f} "
+              f"[{marker}]")
+        if regressed:
+            failures.append(
+                f"host.{key}: {base_val:.3f} -> {curr_val:.3f} "
+                f"(beyond {host_tol:.0%})")
     return failures
 
 
