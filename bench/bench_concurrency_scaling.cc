@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "txn/executor.h"
+#include "workload.h"
 
 namespace mmdb::bench {
 namespace {
@@ -39,24 +40,10 @@ constexpr int64_t kTellers = 256;
 constexpr int64_t kBranches = 128;
 constexpr size_t kTxns = 512;
 
-struct TxnPlan {
-  size_t account;
-  size_t teller;
-  size_t branch;
-  int64_t hist_id;
-};
-
-std::vector<TxnPlan> MakePlans(uint64_t seed) {
-  Random rng(seed);
-  std::vector<TxnPlan> plans;
-  plans.reserve(kTxns);
-  for (size_t i = 0; i < kTxns; ++i) {
-    plans.push_back(TxnPlan{rng.Uniform(size_t{kAccounts}),
-                            rng.Uniform(size_t{kTellers}),
-                            rng.Uniform(size_t{kBranches}),
-                            static_cast<int64_t>(i)});
-  }
-  return plans;
+// The shared deterministic TP1 stream (bench/workload.h) with this
+// bench's historical seed and geometry.
+std::vector<Tp1Plan> MakePlans(uint64_t seed) {
+  return MakeTp1Plans(seed, kTxns, kAccounts, kTellers, kBranches);
 }
 
 DatabaseOptions MakeOptions(uint32_t workers) {
@@ -95,25 +82,7 @@ Status SetupRig(uint32_t workers, BenchRig* rig) {
   return grab("branch", &rig->branches);
 }
 
-// One balance bump as a replayable executor op: read, add 1, write back.
-TxnOp BumpOp(std::string rel, EntityAddr addr) {
-  return [rel = std::move(rel), addr](Database& db, Transaction* t) {
-    auto row = db.Read(t, rel, addr);
-    if (!row.ok()) return row.status();
-    Tuple updated = row.value();
-    updated[1] = std::get<int64_t>(updated[1]) + 1;
-    return db.Update(t, rel, addr, updated);
-  };
-}
-
-TxnOp HistoryOp(int64_t hist_id) {
-  return [hist_id](Database& db, Transaction* t) {
-    return db.Insert(t, "history", Tuple{hist_id, int64_t{1}, int64_t{1}})
-        .status();
-  };
-}
-
-TxnScript MakeScript(const BenchRig& rig, const TxnPlan& p) {
+TxnScript MakeScript(const BenchRig& rig, const Tp1Plan& p) {
   TxnScript s;
   s.label = "tp1-" + std::to_string(p.hist_id);
   s.ops.push_back(BumpOp("account", rig.accounts[p.account]));
@@ -136,7 +105,7 @@ struct RunResult {
 
 /// The pre-executor single-stream driver: Begin / ops / Commit directly
 /// against the database, one transaction at a time on the global clock.
-RunResult RunLegacy(const std::vector<TxnPlan>& plans) {
+RunResult RunLegacy(const std::vector<Tp1Plan>& plans) {
   RunResult r;
   BenchRig rig;
   Status st = SetupRig(1, &rig);
@@ -146,7 +115,7 @@ RunResult RunLegacy(const std::vector<TxnPlan>& plans) {
   }
   Database* db = rig.db.get();
   uint64_t t0 = db->now_ns();
-  for (const TxnPlan& p : plans) {
+  for (const Tp1Plan& p : plans) {
     auto txn = db->Begin();
     if (!txn.ok()) st = txn.status();
     TxnScript s = MakeScript(rig, p);
@@ -165,7 +134,7 @@ RunResult RunLegacy(const std::vector<TxnPlan>& plans) {
   return r;
 }
 
-RunResult RunWithWorkers(uint32_t workers, const std::vector<TxnPlan>& plans) {
+RunResult RunWithWorkers(uint32_t workers, const std::vector<Tp1Plan>& plans) {
   RunResult r;
   BenchRig rig;
   Status st = SetupRig(workers, &rig);
@@ -175,7 +144,7 @@ RunResult RunWithWorkers(uint32_t workers, const std::vector<TxnPlan>& plans) {
   }
   uint64_t t0 = rig.db->now_ns();
   ConcurrentExecutor ex(rig.db.get());
-  for (const TxnPlan& p : plans) ex.Submit(MakeScript(rig, p));
+  for (const Tp1Plan& p : plans) ex.Submit(MakeScript(rig, p));
   st = ex.Run();
   if (!st.ok()) {
     std::printf("ERROR: executor: %s\n", st.ToString().c_str());
@@ -197,7 +166,7 @@ bool PrintScaling() {
   obs::JsonValue series;
   bool ok = true;
 
-  const std::vector<TxnPlan> plans = MakePlans(42);
+  const std::vector<Tp1Plan> plans = MakePlans(42);
 
   // Parity gate: the executor at one worker vs the direct driver on the
   // identical transaction stream.
@@ -279,7 +248,7 @@ bool PrintScaling() {
 
 void BM_ExecutorScaling(benchmark::State& state) {
   const uint32_t workers = uint32_t(state.range(0));
-  const std::vector<TxnPlan> plans = MakePlans(42);
+  const std::vector<Tp1Plan> plans = MakePlans(42);
   for (auto _ : state) {
     RunResult r = RunWithWorkers(workers, plans);
     if (!r.ok) state.SkipWithError("run failed");

@@ -36,6 +36,7 @@
 #include "bench_common.h"
 #include "obs/timeseries.h"
 #include "txn/executor.h"
+#include "workload.h"
 
 namespace mmdb::bench {
 namespace {
@@ -58,24 +59,12 @@ std::string RelName(int r) { return "rel" + std::to_string(r); }
 // kRelations-1 relations are cold: after a crash the on-demand run
 // restores them with the background sweep *after* the measured window,
 // while the full-reload run pays for them up front, inside Restart().
-struct TxnPlan {
-  size_t row_a;     // uniform over rel0
-  size_t row_hot;   // 64-row hot subset of rel0
-};
-
-/// One deterministic plan stream for the whole experiment; both the
-/// on-demand and the full-reload run replay the identical transaction
-/// sequence.
-std::vector<TxnPlan> MakePlans(uint64_t seed, size_t n) {
-  Random rng(seed);
-  std::vector<TxnPlan> plans;
-  plans.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    plans.push_back(
-        TxnPlan{rng.Uniform(static_cast<uint64_t>(kRowsPerRelation)),
-                rng.Uniform(64)});
-  }
-  return plans;
+/// One deterministic plan stream for the whole experiment (the shared
+/// hot/cold generator from bench/workload.h, 64-row hot subset of
+/// rel0); both the on-demand and the full-reload run replay the
+/// identical transaction sequence.
+std::vector<HotColdPlan> MakePlans(uint64_t seed, size_t n) {
+  return MakeHotColdPlans(seed, n, kRowsPerRelation, 64);
 }
 
 struct Rig {
@@ -114,17 +103,7 @@ Status SetupRig(RestartPolicy policy, Rig* rig) {
   return Status::OK();
 }
 
-TxnOp BumpOp(std::string rel, EntityAddr addr) {
-  return [rel = std::move(rel), addr](Database& db, Transaction* t) {
-    auto row = db.Read(t, rel, addr);
-    if (!row.ok()) return row.status();
-    Tuple updated = row.value();
-    updated[1] = std::get<int64_t>(updated[1]) + 1;
-    return db.Update(t, rel, addr, updated);
-  };
-}
-
-TxnScript MakeScript(const Rig& rig, const TxnPlan& p, size_t id) {
+TxnScript MakeScript(const Rig& rig, const HotColdPlan& p, size_t id) {
   TxnScript s;
   s.label = "ir-" + std::to_string(id);
   s.ops.push_back(BumpOp(RelName(0), rig.addrs[0][p.row_a]));
@@ -135,7 +114,7 @@ TxnScript MakeScript(const Rig& rig, const TxnPlan& p, size_t id) {
 /// Admits `count` scripts from `plans` starting at `*next` through a
 /// fresh ConcurrentExecutor, waits for completion, and joins the global
 /// clock to the last worker. Returns committed count via `committed`.
-Status RunWave(Rig* rig, const std::vector<TxnPlan>& plans, size_t* next,
+Status RunWave(Rig* rig, const std::vector<HotColdPlan>& plans, size_t* next,
                size_t count, uint64_t* committed) {
   ConcurrentExecutor ex(rig->db.get());
   for (size_t k = 0; k < count && *next < plans.size(); ++k, ++*next) {
@@ -173,7 +152,7 @@ CurveRun RunExperiment(RestartPolicy policy) {
     return out;
   }
   Database* db = rig.db.get();
-  const std::vector<TxnPlan> plans =
+  const std::vector<HotColdPlan> plans =
       MakePlans(1987, (kPreCrashWaves + kPostCrashWaves) * kWaveTxns);
   size_t next = 0;
 

@@ -1,0 +1,138 @@
+// Shared deterministic workload generation for the benches.
+//
+// Every generator here is a pure function of its seed and parameters:
+// identical call sequences produce identical plans, arrival times and
+// key picks, so bench baselines stay byte-stable and A/B runs inside
+// one bench replay the exact same traffic. The TP1 and hot/cold plan
+// streams preserve the historical per-transaction RNG call order
+// (account, teller, branch — and row_a, row_hot) of the benches they
+// were extracted from.
+
+#ifndef MMDB_BENCH_WORKLOAD_H_
+#define MMDB_BENCH_WORKLOAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "txn/executor.h"
+#include "util/random.h"
+
+namespace mmdb::bench {
+
+/// One TP1-style debit/credit transaction: bump an account, a teller
+/// and a branch row, insert a history row.
+struct Tp1Plan {
+  size_t account;
+  size_t teller;
+  size_t branch;
+  int64_t hist_id;
+};
+
+/// Deterministic TP1 plan stream. RNG call order per transaction:
+/// Uniform(accounts), Uniform(tellers), Uniform(branches).
+inline std::vector<Tp1Plan> MakeTp1Plans(uint64_t seed, size_t n,
+                                         size_t accounts, size_t tellers,
+                                         size_t branches) {
+  Random rng(seed);
+  std::vector<Tp1Plan> plans;
+  plans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    plans.push_back(Tp1Plan{static_cast<size_t>(rng.Uniform(accounts)),
+                            static_cast<size_t>(rng.Uniform(tellers)),
+                            static_cast<size_t>(rng.Uniform(branches)),
+                            static_cast<int64_t>(i)});
+  }
+  return plans;
+}
+
+/// One hot/cold transaction: a uniform row plus a row from a small hot
+/// subset of the same relation.
+struct HotColdPlan {
+  size_t row_a;    // uniform over the relation
+  size_t row_hot;  // from the `hot` leading rows
+};
+
+/// Deterministic hot/cold plan stream. RNG call order per transaction:
+/// Uniform(rows), Uniform(hot).
+inline std::vector<HotColdPlan> MakeHotColdPlans(uint64_t seed, size_t n,
+                                                 size_t rows, size_t hot) {
+  Random rng(seed);
+  std::vector<HotColdPlan> plans;
+  plans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    plans.push_back(HotColdPlan{static_cast<size_t>(rng.Uniform(rows)),
+                                static_cast<size_t>(rng.Uniform(hot))});
+  }
+  return plans;
+}
+
+/// One balance bump as a replayable executor op: read, add 1, write
+/// back.
+inline TxnOp BumpOp(std::string rel, EntityAddr addr) {
+  return [rel = std::move(rel), addr](Database& db, Transaction* t) {
+    auto row = db.Read(t, rel, addr);
+    if (!row.ok()) return row.status();
+    Tuple updated = row.value();
+    updated[1] = std::get<int64_t>(updated[1]) + 1;
+    return db.Update(t, rel, addr, updated);
+  };
+}
+
+/// A TP1 history insert ({id, 1, 1} into `history`).
+inline TxnOp HistoryOp(int64_t hist_id) {
+  return [hist_id](Database& db, Transaction* t) {
+    return db.Insert(t, "history", Tuple{hist_id, int64_t{1}, int64_t{1}})
+        .status();
+  };
+}
+
+/// Open-loop traffic source: exponential interarrival times at a fixed
+/// offered rate on the virtual clock, keys Zipf-skewed over [0, keys)
+/// (key 0 hottest). Open-loop means arrivals do not wait for service —
+/// an overloaded system falls behind instead of throttling the source,
+/// which is what makes saturation and crash dents visible.
+class OpenLoopZipf {
+ public:
+  OpenLoopZipf(uint64_t seed, double rate_per_sec, uint64_t keys,
+               double theta)
+      : rng_(seed),
+        keys_(keys),
+        theta_(theta),
+        mean_gap_ns_(1e9 / rate_per_sec) {}
+
+  /// Advances and returns the next arrival's virtual time.
+  uint64_t NextArrivalNs() {
+    // Inverse-transform exponential from a uniform in (0, 1].
+    const double u =
+        (static_cast<double>(rng_.Next() >> 11) + 1.0) / 9007199254740993.0;
+    const double gap = -mean_gap_ns_ * std::log(u);
+    clock_ns_ += static_cast<uint64_t>(gap) + 1;
+    return clock_ns_;
+  }
+
+  /// Zipf(theta) key pick; element 0 is the hottest.
+  int64_t NextKey() {
+    return static_cast<int64_t>(rng_.Skewed(keys_, theta_));
+  }
+
+  /// Uniform coin in [0, 1).
+  double NextCoin() {
+    return static_cast<double>(rng_.Next() >> 11) / 9007199254740992.0;
+  }
+
+  uint64_t clock_ns() const { return clock_ns_; }
+
+ private:
+  Random rng_;
+  uint64_t keys_;
+  double theta_;
+  double mean_gap_ns_;
+  uint64_t clock_ns_ = 0;
+};
+
+}  // namespace mmdb::bench
+
+#endif  // MMDB_BENCH_WORKLOAD_H_

@@ -1,0 +1,114 @@
+#ifndef MMDB_NET_NETWORK_H_
+#define MMDB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/scheduler.h"
+#include "util/random.h"
+
+namespace mmdb::net {
+
+/// Per-directed-link timing parameters. A message of B bytes sent at
+/// time t on a link occupies the link's serialization timeline for
+/// B / bandwidth (FCFS, busy-until — the same accounting rule as
+/// sim::Disk), then travels for `latency_ns` plus a small seeded jitter
+/// drawn per message, so delivery order is reproducible for a fixed
+/// seed but not artificially synchronized across links.
+struct LinkParams {
+  uint64_t latency_ns = 50'000;               // 50 us propagation per hop
+  double bandwidth_bytes_per_sec = 1e9;       // 1 GB/s serialization
+  uint64_t jitter_ns = 2'000;                 // uniform [0, jitter) per msg
+};
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// Deterministic simulated network between N nodes, scheduled on the
+/// shared EventScheduler.
+///
+/// Every ordered pair of distinct nodes has its own full-duplex link
+/// with a serialization timeline: concurrent messages on one link queue
+/// behind each other exactly like disk requests queue on a disk. The
+/// delivery callback runs as an event at the arrival time with a
+/// `delivered` flag:
+///
+///   * delivered=true  — both endpoints were up, with unchanged
+///     incarnations, from send to arrival;
+///   * delivered=false — an endpoint crashed (NodeDown) or was replaced
+///     (NodeUp bumps the incarnation) while the message was in flight,
+///     or was already down at send time. The callback still runs at the
+///     would-be arrival time, acting as a deterministic failure
+///     detector with one-hop delay — the simulation's stand-in for a
+///     retransmit timeout.
+///
+/// Dropping on *either* endpoint's incarnation change is deliberate: a
+/// message from a node that crashed after sending is treated as lost
+/// (its connection died with it), which keeps two-phase-commit recovery
+/// honest — a vote from a dead participant never arrives.
+class NetworkModel {
+ public:
+  /// Delivery callback: (arrival virtual time, delivered flag).
+  using DeliveryFn = std::function<void(uint64_t now_ns, bool delivered)>;
+
+  NetworkModel(uint32_t nodes, LinkParams params, uint64_t seed,
+               sim::EventScheduler* sched);
+
+  uint32_t nodes() const { return nodes_; }
+
+  /// Sends `bytes` from `src` to `dst`; the callback is scheduled on the
+  /// event loop at the arrival time. Self-sends (src == dst) are allowed
+  /// and bypass the wire: zero latency, delivered in a follow-up event
+  /// at `now_ns`. Returns the scheduled arrival time.
+  uint64_t Send(uint32_t src, uint32_t dst, uint64_t bytes, uint64_t now_ns,
+                DeliveryFn fn);
+
+  /// Marks a node crashed: every in-flight message to or from it is
+  /// dropped (callback fires with delivered=false at arrival time), and
+  /// new sends addressed to it fail at arrival time until NodeUp.
+  void NodeDown(uint32_t node);
+  /// Restores a node with a new incarnation: messages sent to the old
+  /// incarnation still drop; messages sent from now on deliver.
+  void NodeUp(uint32_t node);
+
+  bool node_up(uint32_t node) const { return up_[node]; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Registers net.* counters and the delivery-latency sketch.
+  void AttachMetrics(obs::MetricsRegistry* reg);
+
+ private:
+  struct Link {
+    sim::DeviceTimeline timeline{"net.link"};
+  };
+  Link& link(uint32_t src, uint32_t dst) {
+    return links_[src * nodes_ + dst];
+  }
+
+  uint32_t nodes_;
+  LinkParams params_;
+  Random rng_;
+  sim::EventScheduler* sched_;
+  std::vector<Link> links_;
+  std::vector<bool> up_;
+  /// Incarnation counters; a message captures both endpoints' values at
+  /// send time and delivers only if they still match at arrival.
+  std::vector<uint64_t> incarnation_;
+  NetworkStats stats_;
+
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::LogSketch* m_latency_ns_ = nullptr;
+};
+
+}  // namespace mmdb::net
+
+#endif  // MMDB_NET_NETWORK_H_

@@ -1,0 +1,246 @@
+#include "shard/cluster_explorer.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace mmdb::shard {
+
+namespace {
+
+std::string PointLabel(const std::string& step, uint64_t visit,
+                       uint64_t seed) {
+  std::ostringstream os;
+  os << "step=" << step << " visit=" << visit << " seed=" << seed;
+  return os.str();
+}
+
+}  // namespace
+
+ClusterOptions ClusterCrashExplorer::MakeClusterOptions() const {
+  ClusterOptions copts;
+  copts.shards = opts_.shards;
+  copts.workers_per_shard = opts_.workers_per_shard;
+  copts.keys = opts_.keys;
+  copts.seed = opts_.seed;
+  // Small partitions: a restarted shard exercises real on-demand and
+  // background partition recovery instead of one monolithic reload.
+  copts.db.partition_size_bytes = 8 * 1024;
+  copts.db.recovery_parallelism = 2;
+  return copts;
+}
+
+std::vector<ClusterCrashExplorer::TxnSpec>
+ClusterCrashExplorer::MakeWorkload() const {
+  Random rng(opts_.seed * 0x9E3779B97F4A7C15ull + 1);
+  std::vector<TxnSpec> specs;
+  specs.reserve(opts_.txns);
+  for (uint32_t i = 0; i < opts_.txns; ++i) {
+    TxnSpec spec;
+    // Mix of 1-, 2- and 3-key transactions; with hash routing over
+    // `shards` shards, the multi-key ones are usually cross-shard.
+    const uint32_t nk = 1 + (i % 3);
+    std::set<int64_t> picked;
+    while (picked.size() < nk) {
+      picked.insert(static_cast<int64_t>(rng.Uniform(opts_.keys)));
+    }
+    spec.keys.assign(picked.begin(), picked.end());
+    // Unique per-transaction delta: the final value of a key identifies
+    // exactly which transactions committed into it.
+    spec.delta = static_cast<int64_t>(i + 1);
+    // Staggered arrivals, close enough that prepares overlap and some
+    // transactions hit blocked (in-doubt) keys — covering the vote-NO
+    // and compensation paths in the same sweep.
+    spec.at_ns = static_cast<uint64_t>(i) * 100'000 + rng.Uniform(50'000);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Status ClusterCrashExplorer::Run(ClusterExplorerReport* report) {
+  *report = ClusterExplorerReport();
+  // Probe: no crash, count how often each protocol step fires.
+  {
+    Cluster cluster(MakeClusterOptions());
+    MMDB_RETURN_IF_ERROR(cluster.Init());
+    const uint64_t t0 = cluster.max_now_ns();
+    for (const TxnSpec& spec : MakeWorkload()) {
+      cluster.Submit(spec.keys, spec.delta, t0 + spec.at_ns);
+    }
+    cluster.SetStepHook([report](const std::string& step, uint32_t, uint64_t) {
+      ++report->probe_visits[step];
+    });
+    MMDB_RETURN_IF_ERROR(cluster.Run());
+  }
+  // Sweep: up to max_points_per_step evenly strided visits per step.
+  for (const auto& [step, count] : report->probe_visits) {
+    const uint64_t n_points =
+        std::min<uint64_t>(count, opts_.max_points_per_step);
+    if (n_points == 0) continue;
+    const uint64_t stride = count / n_points;
+    for (uint64_t i = 0; i < n_points; ++i) {
+      const uint64_t visit = 1 + i * stride;
+      std::string failure;
+      MMDB_RETURN_IF_ERROR(RunTrial(step, visit, &failure));
+      ++report->points_explored;
+      if (!failure.empty()) {
+        ++report->violations;
+        report->failures.push_back(failure);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterCrashExplorer::RunPoint(const std::string& step, uint64_t visit,
+                                      std::string* failure) {
+  return RunTrial(step, visit, failure);
+}
+
+Status ClusterCrashExplorer::RunTrial(const std::string& kill_step,
+                                      uint64_t kill_visit,
+                                      std::string* failure) {
+  failure->clear();
+  const std::string label = PointLabel(kill_step, kill_visit, opts_.seed);
+  auto fail = [&](const std::string& what) {
+    if (failure->empty()) *failure = label + ": " + what;
+  };
+
+  Cluster cluster(MakeClusterOptions());
+  MMDB_RETURN_IF_ERROR(cluster.Init());
+  const std::vector<TxnSpec> specs = MakeWorkload();
+  const uint64_t t0 = cluster.max_now_ns();
+  std::vector<Outcome> outcomes(specs.size());
+  for (const TxnSpec& spec : specs) {
+    cluster.Submit(spec.keys, spec.delta, t0 + spec.at_ns,
+                   [&outcomes](uint64_t gid, bool committed, uint64_t) {
+                     outcomes[gid - 1].done = true;
+                     outcomes[gid - 1].committed = committed;
+                   });
+  }
+
+  uint64_t seen = 0;
+  bool killed = false;
+  uint32_t crashed_shard = 0;
+  uint64_t crash_gid = 0;
+  std::string crash_step;
+  cluster.SetStepHook([&](const std::string& step, uint32_t shard,
+                          uint64_t gid) {
+    if (killed || step != kill_step) return;
+    if (++seen != kill_visit) return;
+    killed = true;
+    crashed_shard = shard;
+    crash_gid = gid;
+    crash_step = step;
+    const uint64_t now = cluster.shard_db(shard)->now_ns();
+    cluster.KillShardNow(shard, now);
+    cluster.ScheduleRestart(shard, now + opts_.recovery_delay_ns);
+  });
+  MMDB_RETURN_IF_ERROR(cluster.Run());
+
+  if (!killed) {
+    fail("crash point never reached");
+    return Status::OK();
+  }
+  // --- recovery invariants ----------------------------------------------------
+  for (uint32_t s = 0; s < opts_.shards; ++s) {
+    if (!cluster.shard_up(s)) {
+      fail("shard " + std::to_string(s) + " did not come back up");
+      return Status::OK();
+    }
+  }
+  if (cluster.machines_in_flight() != 0) {
+    fail("transaction machines still in flight after drain");
+  }
+  // In-doubt resolution: every prepared transaction was finalized or
+  // compensated; no journal rows, no blocked keys, anywhere.
+  for (uint32_t s = 0; s < opts_.shards; ++s) {
+    if (cluster.prepared_count(s) != 0) {
+      fail("shard " + std::to_string(s) + " retains prepared transactions");
+    }
+    if (cluster.blocked_keys(s) != 0) {
+      fail("shard " + std::to_string(s) + " retains blocked keys");
+    }
+    std::vector<JournalRow> rows;
+    MMDB_RETURN_IF_ERROR(cluster.ScanJournal(s, &rows));
+    if (!rows.empty()) {
+      fail("shard " + std::to_string(s) + " retains " +
+           std::to_string(rows.size()) + " prepare journal rows");
+    }
+  }
+  // Expected commit set: the client's answer where one was given; the
+  // coordinator's durable outcome log where the answer was lost with the
+  // crashed coordinator (presumed abort: no record => aborted).
+  std::vector<bool> committed(specs.size(), false);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const uint64_t gid = i + 1;
+    const TxnSpec& spec = specs[i];
+    std::set<uint32_t> spans;
+    for (int64_t k : spec.keys) spans.insert(cluster.ShardOf(k));
+    const uint32_t coord = cluster.ShardOf(spec.keys.front());
+    const bool cross = spans.size() > 1;
+    if (outcomes[i].done) {
+      committed[i] = outcomes[i].committed;
+      if (cross) {
+        // Durability of the commit point: the answer given to the client
+        // must match the coordinator's durable outcome record.
+        auto logged = cluster.OutcomeLogged(coord, gid);
+        if (!logged.ok()) return logged.status();
+        if (logged.value() != outcomes[i].committed) {
+          fail("txn " + std::to_string(gid) +
+               " client answer disagrees with coordinator outcome log");
+        }
+      }
+    } else if (cross) {
+      auto logged = cluster.OutcomeLogged(coord, gid);
+      if (!logged.ok()) return logged.status();
+      committed[i] = logged.value();
+    } else {
+      // A 1PC machine only dies mid-flight if the crash landed inside
+      // its own synchronous execution: before or after its local commit.
+      if (gid != crash_gid) {
+        fail("txn " + std::to_string(gid) + " (single-shard) lost without "
+             "being the crash transaction");
+      }
+      committed[i] = crash_step == "1pc.committed";
+    }
+  }
+  // Atomic commit across shards: each key's final value is the sum of
+  // deltas of exactly the committed transactions touching it.
+  std::map<int64_t, int64_t> expected;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!committed[i]) continue;
+    for (int64_t k : specs[i].keys) expected[k] += specs[i].delta;
+  }
+  for (uint64_t k = 0; k < opts_.keys; ++k) {
+    auto v = cluster.ReadKey(static_cast<int64_t>(k));
+    if (!v.ok()) return v.status();
+    const int64_t want = expected.count(static_cast<int64_t>(k)) != 0
+                             ? expected.at(static_cast<int64_t>(k))
+                             : 0;
+    if (v.value() != want) {
+      fail("key " + std::to_string(k) + " = " + std::to_string(v.value()) +
+           ", expected " + std::to_string(want));
+    }
+  }
+  // Usability: the recovered fleet commits a fresh wave.
+  cluster.SetStepHook(nullptr);
+  uint32_t wave_committed = 0;
+  const uint64_t wave_at = cluster.max_now_ns() + 100'000;
+  for (uint32_t s = 0; s < opts_.shards; ++s) {
+    cluster.Submit({static_cast<int64_t>(s % opts_.keys)}, 0, wave_at,
+                   [&wave_committed](uint64_t, bool ok, uint64_t) {
+                     if (ok) ++wave_committed;
+                   });
+  }
+  MMDB_RETURN_IF_ERROR(cluster.Run());
+  if (wave_committed != opts_.shards) {
+    fail("post-recovery wave committed " + std::to_string(wave_committed) +
+         "/" + std::to_string(opts_.shards));
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb::shard

@@ -1,0 +1,99 @@
+#ifndef MMDB_SHARD_CLUSTER_EXPLORER_H_
+#define MMDB_SHARD_CLUSTER_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shard/cluster.h"
+#include "util/status.h"
+
+namespace mmdb::shard {
+
+/// Cluster-mode crash exploration options. A crash point is (protocol
+/// step, nth visit): the probe run counts how often each named 2PC/1PC
+/// step fires across a deterministic mixed 1PC/cross-shard workload,
+/// then the sweep subsamples up to `max_points_per_step` visits per
+/// step with an even stride and, for each point, re-runs the workload
+/// killing the step's shard exactly there, restarts it after
+/// `recovery_delay_ns`, drains the fleet, and asserts the distributed
+/// recovery invariants.
+struct ClusterExplorerOptions {
+  uint64_t seed = 1;
+  uint32_t shards = 3;
+  uint32_t workers_per_shard = 4;
+  uint64_t keys = 24;
+  uint32_t txns = 30;
+  uint32_t max_points_per_step = 8;
+  /// Virtual delay between a shard's crash and its restart. Long enough
+  /// for the fleet to keep serving around the hole, short enough that
+  /// in-doubt inquiry retries are exercised rather than exhausted.
+  uint64_t recovery_delay_ns = 5'000'000;
+};
+
+struct ClusterExplorerReport {
+  uint64_t points_explored = 0;
+  uint64_t violations = 0;
+  /// "step=<name> visit=<n> seed=<s>: <what failed>" — everything needed
+  /// to reproduce via RunPoint.
+  std::vector<std::string> failures;
+  /// Step -> visit count observed by the probe run.
+  std::map<std::string, uint64_t> probe_visits;
+};
+
+/// Kills individual shards at every protocol step of two-phase commit
+/// (and the 1PC fast path) and verifies, after the shard recovers via
+/// its own partition/on-demand/sweep machinery:
+///
+///  * atomic commit — every transaction is all-or-nothing across shards:
+///    each key's final value equals the sum of deltas of exactly the
+///    committed transactions that touch it;
+///  * durability — a transaction reported committed to its client stays
+///    committed through the crash; a cross-shard transaction is
+///    committed iff its coordinator's outcome record exists (presumed
+///    abort), even when the client's answer was lost with the
+///    coordinator;
+///  * in-doubt resolution — after the fleet drains, no shard retains
+///    prepared journal rows or blocked keys: every prepared transaction
+///    was finalized or compensated by decision or inquiry;
+///  * usability — every shard is up and the fleet commits a fresh wave
+///    of transactions.
+///
+/// Everything is deterministic from the seed: a failing point is
+/// reproduced by RunPoint(step, visit) under the same options.
+class ClusterCrashExplorer {
+ public:
+  explicit ClusterCrashExplorer(ClusterExplorerOptions opts) : opts_(opts) {}
+
+  /// Probe + full sweep. Returns non-OK only on infrastructure errors;
+  /// invariant violations are reported via `report->failures`.
+  Status Run(ClusterExplorerReport* report);
+
+  /// Re-runs a single crash point. `*failure` is empty when every
+  /// invariant held, else the violation description.
+  Status RunPoint(const std::string& step, uint64_t visit,
+                  std::string* failure);
+
+ private:
+  struct TxnSpec {
+    std::vector<int64_t> keys;
+    int64_t delta = 0;
+    uint64_t at_ns = 0;
+  };
+  struct Outcome {
+    bool done = false;  // client callback fired
+    bool committed = false;
+  };
+
+  std::vector<TxnSpec> MakeWorkload() const;
+  ClusterOptions MakeClusterOptions() const;
+  Status RunTrial(const std::string& kill_step, uint64_t kill_visit,
+                  std::string* failure);
+
+  ClusterExplorerOptions opts_;
+};
+
+}  // namespace mmdb::shard
+
+#endif  // MMDB_SHARD_CLUSTER_EXPLORER_H_

@@ -1,0 +1,326 @@
+// Sharded-cluster tests: hash routing, the 1PC fast path, two-phase
+// commit with presumed abort, in-doubt resolution around participant
+// and coordinator crashes, fleet availability with a shard down, and
+// whole-cluster determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "shard/cluster.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace mmdb {
+namespace {
+
+using shard::Cluster;
+using shard::ClusterOptions;
+using shard::JournalRow;
+
+ClusterOptions SmallOptions(uint32_t shards = 4, uint64_t keys = 64) {
+  ClusterOptions opts;
+  opts.shards = shards;
+  opts.keys = keys;
+  opts.workers_per_shard = 8;
+  opts.db.partition_size_bytes = 8 * 1024;
+  opts.db.recovery_parallelism = 2;
+  return opts;
+}
+
+// First preloaded key owned by shard `target`.
+int64_t KeyOn(const Cluster& c, uint32_t target) {
+  for (int64_t k = 0; static_cast<uint64_t>(k) < c.options().keys; ++k) {
+    if (c.ShardOf(k) == target) return k;
+  }
+  ADD_FAILURE() << "no key on shard " << target;
+  return 0;
+}
+
+TEST(ClusterTest, RoutingCoversAllShardsAndInitIsClean) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  std::set<uint32_t> seen;
+  for (int64_t k = 0; k < 64; ++k) {
+    const uint32_t s = c.ShardOf(k);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, c.ShardOf(k));  // stable
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  for (int64_t k = 0; k < 64; ++k) {
+    ASSERT_OK_AND_ASSIGN(int64_t v, c.ReadKey(k));
+    EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(ClusterTest, SingleShardFastPathCommits) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  bool committed = false;
+  c.Submit({3}, 42, c.max_now_ns() + 1000,
+           [&](uint64_t, bool ok, uint64_t) { committed = ok; });
+  ASSERT_OK(c.Run());
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(c.committed_total(), 1u);
+  ASSERT_OK_AND_ASSIGN(int64_t v, c.ReadKey(3));
+  EXPECT_EQ(v, 42);
+  // Fast path: no prepares, no outcome records, no network messages.
+  EXPECT_EQ(c.metrics().counter_value("cluster.2pc.prepares"), 0u);
+  EXPECT_EQ(c.network().stats().messages_sent, 0u);
+}
+
+TEST(ClusterTest, CrossShardTwoPhaseCommit) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  const int64_t a = KeyOn(c, 0);
+  const int64_t b = KeyOn(c, 1);
+  bool committed = false;
+  const uint64_t gid = c.Submit({a, b}, 7, c.max_now_ns() + 1000,
+                                [&](uint64_t, bool ok, uint64_t) {
+                                  committed = ok;
+                                });
+  ASSERT_OK(c.Run());
+  EXPECT_TRUE(committed);
+  ASSERT_OK_AND_ASSIGN(int64_t va, c.ReadKey(a));
+  ASSERT_OK_AND_ASSIGN(int64_t vb, c.ReadKey(b));
+  EXPECT_EQ(va, 7);
+  EXPECT_EQ(vb, 7);
+  // The commit point is durable on the coordinator; phase 2 cleaned the
+  // prepare journals everywhere.
+  ASSERT_OK_AND_ASSIGN(bool logged, c.OutcomeLogged(0, gid));
+  EXPECT_TRUE(logged);
+  for (uint32_t s = 0; s < 4; ++s) {
+    std::vector<JournalRow> rows;
+    ASSERT_OK(c.ScanJournal(s, &rows));
+    EXPECT_TRUE(rows.empty());
+    EXPECT_EQ(c.prepared_count(s), 0u);
+    EXPECT_EQ(c.blocked_keys(s), 0u);
+  }
+  EXPECT_EQ(c.metrics().counter_value("cluster.2pc.finalized"), 2u);
+  EXPECT_GE(c.network().stats().messages_delivered, 3u);  // prepare+vote+decision
+}
+
+TEST(ClusterTest, InDoubtKeysRejectWritersUntilDecision) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  const int64_t a = KeyOn(c, 0);
+  const int64_t b = KeyOn(c, 1);
+  bool t1_ok = false;
+  bool t2_done = false, t2_ok = true;
+  bool t3_done = false, t3_ok = true;
+  c.Submit({a, b}, 5, c.max_now_ns() + 1000,
+           [&](uint64_t, bool ok, uint64_t) { t1_ok = ok; });
+  // From the moment T1's coordinator prepares key `a`, the key is
+  // in-doubt: a 1PC writer aborts and a second 2PC transaction draws a
+  // NO vote (presumed abort, nothing to compensate on `a`).
+  bool injected = false;
+  c.SetStepHook([&](const std::string& step, uint32_t shard, uint64_t) {
+    if (injected || step != "2pc.prepare.applied") return;
+    injected = true;
+    const uint64_t now = c.shard_db(shard)->now_ns();
+    c.Submit({a}, 100, now, [&](uint64_t, bool ok, uint64_t) {
+      t2_done = true;
+      t2_ok = ok;
+    });
+    c.Submit({a, b}, 1000, now, [&](uint64_t, bool ok, uint64_t) {
+      t3_done = true;
+      t3_ok = ok;
+    });
+  });
+  ASSERT_OK(c.Run());
+  EXPECT_TRUE(injected);
+  EXPECT_TRUE(t1_ok);
+  EXPECT_TRUE(t2_done);
+  EXPECT_FALSE(t2_ok);
+  EXPECT_TRUE(t3_done);
+  EXPECT_FALSE(t3_ok);
+  ASSERT_OK_AND_ASSIGN(int64_t va, c.ReadKey(a));
+  ASSERT_OK_AND_ASSIGN(int64_t vb, c.ReadKey(b));
+  EXPECT_EQ(va, 5);
+  EXPECT_EQ(vb, 5);
+  EXPECT_GE(c.metrics().counter_value("cluster.2pc.votes_no"), 1u);
+}
+
+TEST(ClusterTest, ParticipantCrashResolvesInDoubtToCommit) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  const int64_t a = KeyOn(c, 0);
+  const int64_t b = KeyOn(c, 1);
+  bool committed = false;
+  const uint64_t gid = c.Submit({a, b}, 9, c.max_now_ns() + 1000,
+                                [&](uint64_t, bool ok, uint64_t) {
+                                  committed = ok;
+                                });
+  // Kill the participant the instant the commit decision reaches it —
+  // after the client was answered, before the journal was finalized.
+  bool killed = false;
+  c.SetStepHook([&](const std::string& step, uint32_t shard, uint64_t) {
+    if (killed || step != "2pc.decision.recv") return;
+    killed = true;
+    const uint64_t now = c.shard_db(shard)->now_ns();
+    c.KillShardNow(shard, now);
+    c.ScheduleRestart(shard, now + 5'000'000);
+  });
+  ASSERT_OK(c.Run());
+  EXPECT_TRUE(killed);
+  // The client's answer arrived before the crash and survives it.
+  EXPECT_TRUE(committed);
+  ASSERT_OK_AND_ASSIGN(bool logged, c.OutcomeLogged(0, gid));
+  EXPECT_TRUE(logged);
+  // Restart rebuilt the prepared state from the journal and resolved it
+  // through the coordinator's outcome log: commit, finalize, unblock.
+  ASSERT_OK_AND_ASSIGN(int64_t va, c.ReadKey(a));
+  ASSERT_OK_AND_ASSIGN(int64_t vb, c.ReadKey(b));
+  EXPECT_EQ(va, 9);
+  EXPECT_EQ(vb, 9);
+  for (uint32_t s = 0; s < 4; ++s) {
+    std::vector<JournalRow> rows;
+    ASSERT_OK(c.ScanJournal(s, &rows));
+    EXPECT_TRUE(rows.empty()) << "shard " << s;
+    EXPECT_EQ(c.prepared_count(s), 0u);
+    EXPECT_EQ(c.blocked_keys(s), 0u);
+  }
+  EXPECT_GE(c.metrics().counter_value("cluster.2pc.inquiries"), 1u);
+  EXPECT_EQ(c.metrics().counter_value("cluster.2pc.finalized"), 2u);
+  EXPECT_TRUE(c.lost_gids().empty());
+}
+
+TEST(ClusterTest, CoordinatorCrashResolvesInDoubtToPresumedAbort) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  const int64_t a = KeyOn(c, 0);
+  const int64_t b = KeyOn(c, 1);
+  bool answered = false;
+  const uint64_t gid = c.Submit({a, b}, 11, c.max_now_ns() + 1000,
+                                [&](uint64_t, bool, uint64_t) {
+                                  answered = true;
+                                });
+  // Kill the coordinator the moment the participant's YES vote arrives
+  // (vote 1 is its own): both shards hold durable prepares, no outcome
+  // was logged. Both are left in doubt and must resolve to ABORT by
+  // inquiry (presumed abort) — the participant's inquiries fail until
+  // the coordinator is back, the coordinator's own prepare resolves
+  // through its restart rebuild.
+  bool killed = false;
+  uint32_t votes = 0;
+  c.SetStepHook([&](const std::string& step, uint32_t shard, uint64_t) {
+    if (killed || step != "2pc.vote.recv") return;
+    if (++votes < 2) return;
+    killed = true;
+    const uint64_t now = c.shard_db(shard)->now_ns();
+    c.KillShardNow(shard, now);
+    c.ScheduleRestart(shard, now + 5'000'000);
+  });
+  ASSERT_OK(c.Run());
+  EXPECT_TRUE(killed);
+  // The client never got an answer; the transaction is in lost_gids and
+  // its durable ground truth is "no outcome record" => aborted.
+  EXPECT_FALSE(answered);
+  ASSERT_EQ(c.lost_gids().size(), 1u);
+  EXPECT_EQ(c.lost_gids()[0], gid);
+  ASSERT_OK_AND_ASSIGN(bool logged, c.OutcomeLogged(0, gid));
+  EXPECT_FALSE(logged);
+  // Atomic: neither shard kept the update; compensation undid both
+  // prepares (coordinator's own via its restart rebuild, participant's
+  // via inquiry retries that succeed once the coordinator is back).
+  ASSERT_OK_AND_ASSIGN(int64_t va, c.ReadKey(a));
+  ASSERT_OK_AND_ASSIGN(int64_t vb, c.ReadKey(b));
+  EXPECT_EQ(va, 0);
+  EXPECT_EQ(vb, 0);
+  for (uint32_t s = 0; s < 4; ++s) {
+    std::vector<JournalRow> rows;
+    ASSERT_OK(c.ScanJournal(s, &rows));
+    EXPECT_TRUE(rows.empty()) << "shard " << s;
+    EXPECT_EQ(c.prepared_count(s), 0u);
+    EXPECT_EQ(c.blocked_keys(s), 0u);
+  }
+  EXPECT_EQ(c.metrics().counter_value("cluster.2pc.compensated"), 2u);
+}
+
+TEST(ClusterTest, FleetServesAroundADownShard) {
+  Cluster c(SmallOptions());
+  ASSERT_OK(c.Init());
+  // Baseline wave: one local transaction per shard.
+  uint32_t ok_wave = 0;
+  uint64_t t = c.max_now_ns() + 1000;
+  for (uint32_t s = 0; s < 4; ++s) {
+    c.Submit({KeyOn(c, s)}, 1, t,
+             [&](uint64_t, bool ok, uint64_t) { ok_wave += ok ? 1 : 0; });
+  }
+  ASSERT_OK(c.Run());
+  EXPECT_EQ(ok_wave, 4u);
+
+  // Shard 2 goes down and stays down for this wave.
+  c.KillShardNow(2, c.max_now_ns());
+  EXPECT_FALSE(c.shard_up(2));
+  uint32_t ok2 = 0, failed2 = 0;
+  t = c.max_now_ns() + 1000;
+  for (uint32_t s = 0; s < 4; ++s) {
+    c.Submit({KeyOn(c, s)}, 1, t, [&](uint64_t, bool ok, uint64_t) {
+      (ok ? ok2 : failed2) += 1;
+    });
+  }
+  // A cross-shard transaction touching the dead shard fails fast
+  // without preparing anything on the live side.
+  c.Submit({KeyOn(c, 0), KeyOn(c, 2)}, 1, t,
+           [&](uint64_t, bool ok, uint64_t) { (ok ? ok2 : failed2) += 1; });
+  ASSERT_OK(c.Run());
+  EXPECT_EQ(ok2, 3u);      // the three live shards served
+  EXPECT_EQ(failed2, 2u);  // dead-shard local + cross both failed fast
+  EXPECT_EQ(c.prepared_count(0), 0u);
+
+  // Independent recovery: the shard restarts and the fleet is whole.
+  ASSERT_OK(c.RestartShardNow(2, c.max_now_ns() + 1'000'000));
+  uint32_t ok3 = 0;
+  t = c.max_now_ns() + 1000;
+  for (uint32_t s = 0; s < 4; ++s) {
+    c.Submit({KeyOn(c, s)}, 1, t,
+             [&](uint64_t, bool ok, uint64_t) { ok3 += ok ? 1 : 0; });
+  }
+  ASSERT_OK(c.Run());
+  EXPECT_EQ(ok3, 4u);
+  EXPECT_TRUE(c.shard_db(2)->FullyResident());  // background sweep finished
+}
+
+// The whole fleet — network jitter, 2PC interleavings, telemetry — is a
+// pure function of the seed: two runs dump byte-identical metrics.
+TEST(ClusterTest, WholeClusterDeterminism) {
+  auto run = [](std::map<int64_t, int64_t>* values) -> std::string {
+    Cluster c(SmallOptions(4, 128));
+    EXPECT_OK(c.Init());
+    Random rng(5);
+    const uint64_t t0 = c.max_now_ns();
+    for (int i = 0; i < 60; ++i) {
+      std::set<int64_t> keys;
+      const uint32_t nk = 1 + (i % 2);
+      while (keys.size() < nk) {
+        keys.insert(static_cast<int64_t>(rng.Uniform(128)));
+      }
+      c.Submit(std::vector<int64_t>(keys.begin(), keys.end()),
+               static_cast<int64_t>(1 + rng.Uniform(100)),
+               t0 + static_cast<uint64_t>(i) * 40'000 + rng.Uniform(20'000));
+    }
+    EXPECT_OK(c.Run());
+    for (int64_t k = 0; k < 128; ++k) {
+      auto v = c.ReadKey(k);
+      EXPECT_OK(v.status());
+      (*values)[k] = v.value();
+    }
+    return obs::RegistryToJsonValue(c.metrics()).Dump();
+  };
+  std::map<int64_t, int64_t> va, vb;
+  const std::string a = run(&va);
+  const std::string b = run(&vb);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(va, vb);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace mmdb

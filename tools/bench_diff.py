@@ -43,6 +43,9 @@ def classify(key: str):
     return "info"
 
 
+GATED_SECTIONS = ("headline", "timeseries", "host")
+
+
 def compare(baseline_path: Path, current_path: Path, tolerance: float):
     with baseline_path.open() as f:
         base = json.load(f)
@@ -52,6 +55,17 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
     curr_head = curr.get("headline", {})
 
     failures = []
+    # The loops below walk the *baseline's* sections, so a section the
+    # current run emits but the baseline predates would silently skip
+    # every gate in it. That is a stale baseline, not a pass: name it
+    # and the file to refresh instead of quietly comparing nothing.
+    for section in GATED_SECTIONS:
+        if curr.get(section) and section not in base:
+            print(f"  section '{section}' present in current run but absent "
+                  f"from baseline")
+            failures.append(
+                f"baseline lacks section '{section}' that the current run "
+                f"emits — refresh {baseline_path}")
     for key, base_val in sorted(base_head.items()):
         if not isinstance(base_val, (int, float)):
             continue
