@@ -89,6 +89,63 @@ inline TxnOp HistoryOp(int64_t hist_id) {
   };
 }
 
+/// One transaction of the read-mostly mix: either a TP1-style
+/// debit/credit write or a read transaction of a few point reads —
+/// periodically upgraded to a long analytic scan of the account table.
+struct ReadMostlyPlan {
+  bool is_read = false;
+  bool long_scan = false;  // read transactions only
+  size_t reads[4] = {0, 0, 0, 0};  // point-read account picks
+  Tp1Plan write{0, 0, 0, 0};       // write transactions only
+};
+
+/// Deterministic read-mostly plan stream (the 95/5 mix). RNG call order
+/// per transaction: Uniform(1000) for the read/write coin, then either
+/// 4 x Uniform(accounts) (read; every `scan_every`-th read transaction
+/// also runs the full scan) or Uniform(accounts), Uniform(tellers),
+/// Uniform(branches) (write).
+inline std::vector<ReadMostlyPlan> MakeReadMostlyPlans(
+    uint64_t seed, size_t n, size_t accounts, size_t tellers, size_t branches,
+    double read_fraction, size_t scan_every) {
+  Random rng(seed);
+  std::vector<ReadMostlyPlan> plans;
+  plans.reserve(n);
+  const uint64_t read_cut = static_cast<uint64_t>(read_fraction * 1000.0);
+  size_t read_count = 0;
+  int64_t hist_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ReadMostlyPlan p;
+    p.is_read = rng.Uniform(1000) < read_cut;
+    if (p.is_read) {
+      p.long_scan = scan_every > 0 && (read_count % scan_every) == 0;
+      ++read_count;
+      for (size_t j = 0; j < 4; ++j) {
+        p.reads[j] = static_cast<size_t>(rng.Uniform(accounts));
+      }
+    } else {
+      p.write = Tp1Plan{static_cast<size_t>(rng.Uniform(accounts)),
+                        static_cast<size_t>(rng.Uniform(tellers)),
+                        static_cast<size_t>(rng.Uniform(branches)), hist_id++};
+    }
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+/// A point read as a replayable executor op (result discarded).
+inline TxnOp ReadOp(std::string rel, EntityAddr addr) {
+  return [rel = std::move(rel), addr](Database& db, Transaction* t) {
+    return db.Read(t, rel, addr).status();
+  };
+}
+
+/// A full-relation analytic scan as a replayable executor op.
+inline TxnOp ScanOp(std::string rel) {
+  return [rel = std::move(rel)](Database& db, Transaction* t) {
+    return db.Scan(t, rel).status();
+  };
+}
+
 /// Open-loop traffic source: exponential interarrival times at a fixed
 /// offered rate on the virtual clock, keys Zipf-skewed over [0, keys)
 /// (key 0 hottest). Open-loop means arrivals do not wait for service —

@@ -152,6 +152,13 @@ void Database::AttachStableObservers() {
 void Database::AttachVolatileObservers() {
   v_->locks.AttachMetrics(&metrics_);
   v_->txns.AttachMetrics(&metrics_);
+  v_->versions.AttachMetrics(&metrics_);
+}
+
+uint64_t Database::PruneVersions() { return v_->versions.Prune(); }
+
+size_t Database::mvcc_versions_live() const {
+  return v_->versions.versions_live();
 }
 
 Database::~Database() = default;
@@ -265,7 +272,25 @@ Status Database::RollbackOperation(Transaction* txn, const OpMark& mark) {
     MMDB_RETURN_IF_ERROR(ApplyLogRecord(rec, pr.value()));
     MainWork(opts_.apply_instructions_per_record);
   }
-  if (!undo.empty()) NoteSpaceFreed();
+  if (!undo.empty()) {
+    // An address fully reverted by this rollback (no earlier write from
+    // the same transaction survives in the UNDO chain) again matches its
+    // committed image, so its version chain can release the dirty mark.
+    const std::vector<LogRecord>* remaining = v_->undo.Peek(txn->id());
+    for (const LogRecord& rec : undo) {
+      bool still_written = false;
+      if (remaining != nullptr) {
+        for (const LogRecord& r : *remaining) {
+          if (r.partition == rec.partition && r.slot == rec.slot) {
+            still_written = true;
+            break;
+          }
+        }
+      }
+      if (!still_written) v_->versions.OnUndone({rec.partition, rec.slot});
+    }
+    NoteSpaceFreed();
+  }
   slb_at(txn->log_stream())->Rewind(txn->id(), mark.slb);
   txn->RestoreRedo(mark.redo);
   return Status::OK();
@@ -374,6 +399,9 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
                                           std::span<const uint8_t> data) {
   if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
   if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   if (data.size() > 0xFFFF) {
     return Status::InvalidArgument("entity larger than 64KB");
   }
@@ -420,6 +448,7 @@ Result<EntityAddr> Database::InsertEntity(Transaction* txn, SegmentId segment,
     NoteSpaceFreed();
     return lock;
   }
+  v_->versions.NoteWrite(addr, /*deleted=*/true, {});
 
   LogRecord redo;
   redo.op = LogOp::kInsert;
@@ -441,6 +470,9 @@ Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
                               std::span<const uint8_t> data) {
   if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
   if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   if (data.size() > 0xFFFF) {
     return Status::InvalidArgument("entity larger than 64KB");
   }
@@ -457,6 +489,7 @@ Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
   if (!pre_r.ok()) return pre_r.status();
   std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
 
+  v_->versions.NoteWrite(addr, /*deleted=*/false, pre);
   MMDB_RETURN_IF_ERROR(p->Update(addr.slot, data));
   NoteSpaceFreed();
 
@@ -478,6 +511,9 @@ Status Database::UpdateEntity(Transaction* txn, const EntityAddr& addr,
 Status Database::DeleteEntity(Transaction* txn, const EntityAddr& addr) {
   if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
   if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   MainWork(opts_.dml_instructions);
   auto pr = ResidentPartition(addr.partition);
   if (!pr.ok()) return pr.status();
@@ -491,6 +527,7 @@ Status Database::DeleteEntity(Transaction* txn, const EntityAddr& addr) {
   if (!pre_r.ok()) return pre_r.status();
   std::vector<uint8_t> pre(pre_r.value().begin(), pre_r.value().end());
 
+  v_->versions.NoteWrite(addr, /*deleted=*/false, pre);
   MMDB_RETURN_IF_ERROR(p->Delete(addr.slot));
   NoteSpaceFreed();
 
@@ -513,6 +550,22 @@ Result<std::vector<uint8_t>> Database::ReadEntity(Transaction* txn,
   auto pr = ResidentPartition(addr.partition);
   if (!pr.ok()) return pr.status();
   Partition* p = pr.value();
+  if (txn != nullptr && txn->read_only()) {
+    // Snapshot read: no S-lock, no wait-queue entry — resolve against
+    // the version store instead. The resolve costs about what the lock
+    // acquisition would have (a map probe plus a chain walk).
+    MainWork(opts_.lock_instructions);
+    v_->versions.NoteSnapshotRead();
+    const VersionStore::Version* ver =
+        v_->versions.Resolve(addr, txn->snapshot_csn());
+    if (ver != nullptr) {
+      if (ver->deleted) return Status::NotFound("entity absent at snapshot");
+      return ver->data;
+    }
+    auto bytes = p->Read(addr.slot);
+    if (!bytes.ok()) return bytes.status();
+    return std::vector<uint8_t>(bytes.value().begin(), bytes.value().end());
+  }
   if (txn != nullptr) {
     MMDB_RETURN_IF_ERROR(
         LockForTxn(txn, LockResource::Entity(addr), LockMode::kS));
@@ -534,6 +587,9 @@ Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
                              LogOp op, const node::Entry& e) {
   if (txn == nullptr) return Status::InvalidArgument("mutation needs a txn");
   if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   MainWork(opts_.dml_instructions);
   auto pr = ResidentPartition(addr.partition);
   if (!pr.ok()) return pr.status();
@@ -550,6 +606,7 @@ Status Database::NodeEntryOp(Transaction* txn, const EntityAddr& addr,
   Status st = op == LogOp::kNodeInsertEntry ? node::InsertEntry(&post, e)
                                             : node::RemoveEntry(&post, e);
   if (!st.ok()) return st;
+  v_->versions.NoteWrite(addr, /*deleted=*/false, pre);
   MMDB_RETURN_IF_ERROR(p->Update(addr.slot, post));
   NoteSpaceFreed();
 
@@ -1211,13 +1268,21 @@ Status Database::DropRelation(const std::string& relation_name) {
 // ---------------------------------------------------------------------------
 
 Result<Transaction*> Database::Begin(TxnKind kind,
-                                     const std::string& user_data) {
+                                     const std::string& user_data,
+                                     bool read_only) {
   if (crashed_) return Status::InvalidArgument("crashed; call Restart()");
   // A latched injected crash takes effect before any new transaction.
   MMDB_RETURN_IF_ERROR(fault::Barrier(fault_.get()));
   MainWork(50);
   Transaction* txn = v_->txns.Begin(kind);
   txn->set_begin_ns(vnow());
+  if (read_only && kind == TxnKind::kUser) {
+    // Snapshot acquisition: the newest commit stamp is the snapshot csn;
+    // everything committed up to here is visible, nothing after. The
+    // registration keeps the reclaimer from pruning past this reader.
+    txn->SetReadOnly(epoch_csn_last_);
+    v_->versions.BeginSnapshot(epoch_csn_last_);
+  }
   // Partitioned-log routing: executor-bound user transactions spread
   // across the streams by worker; everything else stays on stream 0.
   if (!extra_streams_.empty() && kind == TxnKind::kUser && exec_ != nullptr) {
@@ -1234,16 +1299,25 @@ Status Database::Commit(Transaction* txn) {
   if (txn == nullptr || !txn->active()) {
     return Status::InvalidArgument("commit of inactive transaction");
   }
+  if (txn->read_only()) return CommitReadOnly(txn);
   MainWork(100);
   uint64_t id = txn->id();
   TxnKind kind = txn->kind();
   uint64_t redo_bytes = txn->redo_bytes();
   uint64_t begin_ns = txn->begin_ns();
+  uint32_t stamp_epoch = 0;
+  uint64_t stamp_csn = 0;
   // Moving the chain to the committed list touches the SLB's shared
   // lists — the same critical section as block allocation (§2.3.1).
   SlbAllocationGate(txn->log_stream());
   if (extra_streams_.empty()) {
     MMDB_RETURN_IF_ERROR(slb_->Commit(id));
+    // Single-stream commits carry no group-commit stamp (the mirrors
+    // stay zero — exact parity with the legacy logger), but the version
+    // store still needs a total commit order, so the csn latch advances
+    // here too. Bumped only after the SLB commit succeeds: a crash-
+    // faulted commit must never install versions.
+    stamp_csn = ++epoch_csn_last_;
   } else {
     // Epoch group commit: stamp (epoch, csn) before moving the chain.
     // The csn latch makes (epoch, csn) a total order consistent with
@@ -1256,6 +1330,8 @@ Status Database::Commit(Transaction* txn) {
     uint64_t csn = ++epoch_csn_last_;
     last_commit_epoch_ = e;
     last_commit_csn_ = csn;
+    stamp_epoch = e;
+    stamp_csn = csn;
     MMDB_RETURN_IF_ERROR(slb_at(txn->log_stream())->Commit(id, e, csn));
     if (kind != TxnKind::kUser) {
       // Checkpoint / system / DDL commits are fenced durable on the
@@ -1288,6 +1364,7 @@ Status Database::Commit(Transaction* txn) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
         AuditRecord{id, vnow(), AuditKind::kCommit, ""}));
   }
+  InstallCommittedVersions(txn, stamp_epoch, stamp_csn);
   v_->undo.Discard(id);
   NoteGrants(v_->locks.ReleaseAll(id));
   txn->set_state(TxnState::kCommitted);
@@ -1301,6 +1378,10 @@ Status Database::Commit(Transaction* txn) {
 }
 
 Status Database::PostCommitMaintenance() {
+  // Version reclamation rides the same between-transaction duty cycle as
+  // checkpoints (§2.4). It is pure bookkeeping — no virtual time — so it
+  // runs before the clock hand-off below.
+  v_->versions.Prune();
   if (exec_ == nullptr) {
     if (opts_.auto_pump_recovery) {
       MMDB_RETURN_IF_ERROR(PumpRecovery());
@@ -1333,6 +1414,7 @@ Status Database::Abort(Transaction* txn) {
   if (txn == nullptr || !txn->active()) {
     return Status::InvalidArgument("abort of inactive transaction");
   }
+  if (txn->read_only()) return AbortReadOnly(txn);
   uint64_t id = txn->id();
   std::vector<LogRecord> undo = v_->undo.TakeReversed(id);
   for (const LogRecord& rec : undo) {
@@ -1344,7 +1426,14 @@ Status Database::Abort(Transaction* txn) {
     }
     MainWork(opts_.apply_instructions_per_record);
   }
-  if (!undo.empty()) NoteSpaceFreed();
+  if (!undo.empty()) {
+    // Every written address is back at its committed image: chains that
+    // held nothing beyond the captured pre-image are redundant now.
+    for (const LogRecord& rec : undo) {
+      v_->versions.OnUndone({rec.partition, rec.slot});
+    }
+    NoteSpaceFreed();
+  }
   SlbAllocationGate(txn->log_stream());
   MMDB_RETURN_IF_ERROR(slb_at(txn->log_stream())->Discard(id));
   NoteGrants(v_->locks.ReleaseAll(id));
@@ -1360,6 +1449,87 @@ Status Database::Abort(Transaction* txn) {
   v_->txns.NoteAbort();
   v_->txns.Finish(id);
   if (opts_.audit_logging && kind == TxnKind::kUser) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(
+        AuditRecord{id, vnow(), AuditKind::kAbort, ""}));
+  }
+  return Status::OK();
+}
+
+void Database::InstallCommittedVersions(Transaction* txn, uint32_t epoch,
+                                        uint64_t csn) {
+  const std::vector<LogRecord>* chain = v_->undo.Peek(txn->id());
+  if (chain == nullptr || chain->empty()) return;
+  std::set<EntityAddr> addrs;
+  for (const LogRecord& rec : *chain) {
+    addrs.insert(EntityAddr{rec.partition, rec.slot});
+  }
+  const bool tracking = v_->versions.tracking();
+  for (const EntityAddr& addr : addrs) {
+    if (!tracking) {
+      // No snapshot is live: the partition alone is the truth and the
+      // chain (pre-image plus any history) is dead weight.
+      v_->versions.Drop(addr);
+      continue;
+    }
+    auto pr = v_->pm.Get(addr.partition);
+    if (!pr.ok()) {
+      v_->versions.Drop(addr);
+      continue;
+    }
+    Partition* p = pr.value();
+    if (p->SlotUsed(addr.slot)) {
+      auto bytes = p->Read(addr.slot);
+      if (bytes.ok()) {
+        v_->versions.Install(addr, epoch, csn, /*deleted=*/false,
+                             bytes.value());
+        continue;
+      }
+    }
+    v_->versions.Install(addr, epoch, csn, /*deleted=*/true, {});
+  }
+}
+
+Status Database::CommitReadOnly(Transaction* txn) {
+  // Snapshot readers wrote nothing: no SLB chain to move, no durability
+  // wait, no locks to release — just the snapshot to retire.
+  MainWork(100);
+  uint64_t id = txn->id();
+  uint64_t begin_ns = txn->begin_ns();
+  if (txn->kind() == TxnKind::kUser) {
+    obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
+                                        : obs::Track::kMainCpu;
+    m_txn_latency_ns_->Record(static_cast<double>(vnow() - begin_ns));
+    m_commit_series_->Add(vnow());
+    tracer_.Span(track, "txn", "txn " + std::to_string(id) + " (snapshot)",
+                 begin_ns, vnow() - begin_ns);
+  }
+  if (opts_.audit_logging && txn->kind() == TxnKind::kUser) {
+    MMDB_RETURN_IF_ERROR(audit_->Append(
+        AuditRecord{id, vnow(), AuditKind::kCommit, ""}));
+  }
+  v_->versions.EndSnapshot(txn->snapshot_csn());
+  v_->versions.Prune();
+  txn->set_state(TxnState::kCommitted);
+  v_->txns.NoteCommit();
+  v_->txns.Finish(id);
+  return Status::OK();
+}
+
+Status Database::AbortReadOnly(Transaction* txn) {
+  uint64_t id = txn->id();
+  if (txn->kind() == TxnKind::kUser) {
+    obs::Track track = exec_ != nullptr ? obs::WorkerTrack(exec_->worker)
+                                        : obs::Track::kMainCpu;
+    m_abort_series_->Add(vnow());
+    tracer_.Span(track, "txn", "txn " + std::to_string(id) + " (abort)",
+                 txn->begin_ns(), vnow() - txn->begin_ns());
+  }
+  v_->versions.EndSnapshot(txn->snapshot_csn());
+  v_->versions.Prune();
+  txn->set_state(TxnState::kAborted);
+  v_->txns.NoteAbort();
+  v_->txns.Finish(id);
+  if (opts_.audit_logging && txn->kind() == TxnKind::kUser) {
     MMDB_RETURN_IF_ERROR(audit_->Append(
         AuditRecord{id, vnow(), AuditKind::kAbort, ""}));
   }
@@ -1458,6 +1628,9 @@ Status Database::MaintainIndexesOnDelete(Transaction* txn, RelationInfo* rel,
 Result<EntityAddr> Database::Insert(Transaction* txn,
                                     const std::string& relation,
                                     const Tuple& tuple) {
+  if (txn != nullptr && txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
   MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
@@ -1474,6 +1647,9 @@ Result<EntityAddr> Database::Insert(Transaction* txn,
 
 Status Database::Update(Transaction* txn, const std::string& relation,
                         const EntityAddr& addr, const Tuple& tuple) {
+  if (txn != nullptr && txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
   MMDB_RETURN_IF_ERROR(rel.value()->schema.Validate(tuple));
@@ -1513,6 +1689,9 @@ Status Database::Update(Transaction* txn, const std::string& relation,
 
 Status Database::Delete(Transaction* txn, const std::string& relation,
                         const EntityAddr& addr) {
+  if (txn != nullptr && txn->read_only()) {
+    return Status::InvalidArgument("read-only transaction cannot write");
+  }
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
   MMDB_RETURN_IF_ERROR(
@@ -1529,8 +1708,10 @@ Result<Tuple> Database::Read(Transaction* txn, const std::string& relation,
                              const EntityAddr& addr) {
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
-  MMDB_RETURN_IF_ERROR(
-      LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kIS));
+  if (txn == nullptr || !txn->read_only()) {
+    MMDB_RETURN_IF_ERROR(LockForTxn(
+        txn, LockResource::Relation(rel.value()->id), LockMode::kIS));
+  }
   auto bytes = ReadEntity(txn, addr);
   if (!bytes.ok()) return bytes.status();
   return rel.value()->schema.Decode(bytes.value());
@@ -1544,8 +1725,10 @@ Result<std::vector<EntityAddr>> Database::IndexLookup(
   }
   auto idx = v_->catalog.GetIndex(index_name);
   if (!idx.ok()) return idx.status();
-  MMDB_RETURN_IF_ERROR(LockForTxn(
-      txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
+  if (!txn->read_only()) {
+    MMDB_RETURN_IF_ERROR(LockForTxn(
+        txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
+  }
   TxnEntityStore store(this, txn);
   if (idx.value()->type == IndexType::kTTree) {
     auto tree = GetTTree(index_name);
@@ -1568,8 +1751,10 @@ Result<std::vector<node::Entry>> Database::IndexRange(
   if (idx.value()->type != IndexType::kTTree) {
     return Status::NotSupported("range scans require a T-Tree index");
   }
-  MMDB_RETURN_IF_ERROR(LockForTxn(
-      txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
+  if (!txn->read_only()) {
+    MMDB_RETURN_IF_ERROR(LockForTxn(
+        txn, LockResource::Relation(idx.value()->relation_id), LockMode::kIS));
+  }
   TxnEntityStore store(this, txn);
   auto tree = GetTTree(index_name);
   if (!tree.ok()) return tree.status();
@@ -1580,6 +1765,51 @@ Result<std::vector<std::pair<EntityAddr, Tuple>>> Database::Scan(
     Transaction* txn, const std::string& relation) {
   auto rel = LookupRelation(txn, relation);
   if (!rel.ok()) return rel.status();
+  if (txn != nullptr && txn->read_only()) {
+    // Snapshot scan: no relation S-lock — writers keep committing while
+    // the scan runs. Every slot with a version chain resolves through
+    // the chain (which covers deleted-then-reused slots and uncommitted
+    // in-place writes); chainless slots are committed as stored.
+    const uint64_t snap = txn->snapshot_csn();
+    std::vector<std::pair<EntityAddr, Tuple>> out;
+    for (const PartitionDescriptor& d : rel.value()->partitions) {
+      auto pr = ResidentPartition(d.id);
+      if (!pr.ok()) return pr.status();
+      Partition* p = pr.value();
+      std::map<uint32_t, const VersionStore::Version*> resolved =
+          v_->versions.ResolvePartition(d.id, snap);
+      auto emit = [&](uint32_t s,
+                      std::span<const uint8_t> bytes) -> Status {
+        auto tuple = rel.value()->schema.Decode(bytes);
+        if (!tuple.ok()) return tuple.status();
+        out.emplace_back(EntityAddr{d.id, s}, std::move(tuple).value());
+        MainWork(10);
+        v_->versions.NoteSnapshotRead();
+        return Status::OK();
+      };
+      for (uint32_t s = 0; s < p->slot_count(); ++s) {
+        auto it = resolved.find(s);
+        if (it != resolved.end()) {
+          if (!it->second->deleted) {
+            MMDB_RETURN_IF_ERROR(emit(s, it->second->data));
+          }
+          continue;
+        }
+        if (!p->SlotUsed(s)) continue;
+        auto bytes = p->Read(s);
+        if (!bytes.ok()) return bytes.status();
+        MMDB_RETURN_IF_ERROR(emit(s, bytes.value()));
+      }
+      // Chains can outlive their slot range only if the partition never
+      // grew to cover them; emit any live stragglers for completeness.
+      for (const auto& [s, ver] : resolved) {
+        if (s >= p->slot_count() && !ver->deleted) {
+          MMDB_RETURN_IF_ERROR(emit(s, ver->data));
+        }
+      }
+    }
+    return out;
+  }
   MMDB_RETURN_IF_ERROR(
       LockForTxn(txn, LockResource::Relation(rel.value()->id), LockMode::kS));
   std::vector<std::pair<EntityAddr, Tuple>> out;

@@ -10,6 +10,7 @@
 #include "analysis/model.h"
 #include "catalog/catalog.h"
 #include "catalog/schema.h"
+#include "core/version_store.h"
 #include "fault/fault.h"
 #include "index/linear_hash.h"
 #include "index/ttree.h"
@@ -248,10 +249,23 @@ class Database {
   /// Begins a transaction. The pointer is owned by the database and is
   /// invalidated by Commit/Abort. `user_data` (e.g. the initiating
   /// message) goes to the audit trail log.
+  /// `read_only` (user transactions only) declares an MVCC snapshot
+  /// reader: it captures the newest commit stamp as its snapshot, never
+  /// touches the lock manager, and rejects writes.
   Result<Transaction*> Begin(TxnKind kind = TxnKind::kUser,
-                             const std::string& user_data = "");
+                             const std::string& user_data = "",
+                             bool read_only = false);
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
+
+  /// Runs one version-reclamation pass: drops versions older than the
+  /// oldest live snapshot (all of them when no snapshot is live). Pure
+  /// bookkeeping — no virtual time, no log or disk traffic — so the
+  /// maintenance loop may call it anywhere. Idempotent; returns the
+  /// number of versions reclaimed.
+  uint64_t PruneVersions();
+  /// Versions currently held by the MVCC store (mvcc.versions_live).
+  size_t mvcc_versions_live() const;
 
   // --- DML ------------------------------------------------------------------
   Result<EntityAddr> Insert(Transaction* txn, const std::string& relation,
@@ -477,6 +491,7 @@ class Database {
     LockManager locks;
     UndoSpace undo;
     TransactionManager txns;
+    VersionStore versions;
     SegmentId catalog_segment = 0;
     /// First-fit insert accelerator: InsertEntity's scan proved every
     /// partition of the segment before `idx` unable to fit `need` bytes
@@ -516,6 +531,15 @@ class Database {
   Result<bool> EntityFitsUpdate(const EntityAddr& addr, size_t new_size);
   Status NodeEntryOp(Transaction* txn, const EntityAddr& addr, LogOp op,
                      const node::Entry& e);
+
+  /// Commit/abort halves of the MVCC version lifecycle. Install walks
+  /// the transaction's UNDO chain (before it is discarded) to find the
+  /// written addresses and appends their committed post-images stamped
+  /// (epoch, csn) — or drops the chains when no snapshot is live.
+  void InstallCommittedVersions(Transaction* txn, uint32_t epoch,
+                                uint64_t csn);
+  Status CommitReadOnly(Transaction* txn);
+  Status AbortReadOnly(Transaction* txn);
 
   Status AppendRedo(Transaction* txn, const LogRecord& redo,
                     const LogRecord& undo);

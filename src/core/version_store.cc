@@ -1,0 +1,130 @@
+#include "core/version_store.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+void VersionStore::NoteWrite(const EntityAddr& addr, bool deleted,
+                             std::span<const uint8_t> pre) {
+  auto [it, inserted] = chains_.try_emplace(MakeKey(addr));
+  Chain& chain = it->second;
+  if (inserted) {
+    Version base;
+    base.csn = 0;
+    base.epoch = 0;
+    base.deleted = deleted;
+    base.data.assign(pre.begin(), pre.end());
+    chain.versions.push_back(std::move(base));
+    BumpLive(1);
+  }
+  chain.dirty = true;
+}
+
+void VersionStore::Install(const EntityAddr& addr, uint32_t epoch,
+                           uint64_t csn, bool deleted,
+                           std::span<const uint8_t> data) {
+  auto it = chains_.find(MakeKey(addr));
+  if (it == chains_.end()) return;  // write was statement-rolled-back away
+  Chain& chain = it->second;
+  Version v;
+  v.csn = csn;
+  v.epoch = epoch;
+  v.deleted = deleted;
+  v.data.assign(data.begin(), data.end());
+  chain.versions.push_back(std::move(v));
+  chain.dirty = false;
+  BumpLive(1);
+}
+
+void VersionStore::Drop(const EntityAddr& addr) {
+  auto it = chains_.find(MakeKey(addr));
+  if (it == chains_.end()) return;
+  BumpLive(-static_cast<int64_t>(it->second.versions.size()));
+  chains_.erase(it);
+}
+
+void VersionStore::OnUndone(const EntityAddr& addr) {
+  auto it = chains_.find(MakeKey(addr));
+  if (it == chains_.end()) return;
+  Chain& chain = it->second;
+  if (chain.versions.size() == 1 && chain.versions[0].csn == 0) {
+    BumpLive(-1);
+    chains_.erase(it);
+    return;
+  }
+  chain.dirty = false;
+}
+
+const VersionStore::Version* VersionStore::Resolve(const EntityAddr& addr,
+                                                   uint64_t snapshot) const {
+  auto it = chains_.find(MakeKey(addr));
+  if (it == chains_.end()) return nullptr;
+  const std::vector<Version>& vs = it->second.versions;
+  // Newest entry with csn <= snapshot. Chains are tiny (base + a few
+  // commits between prunes), so a reverse scan beats binary search.
+  for (auto rit = vs.rbegin(); rit != vs.rend(); ++rit) {
+    if (rit->csn <= snapshot) return &*rit;
+  }
+  return nullptr;
+}
+
+std::map<uint32_t, const VersionStore::Version*> VersionStore::ResolvePartition(
+    const PartitionId& pid, uint64_t snapshot) const {
+  std::map<uint32_t, const Version*> out;
+  const uint64_t packed = pid.Pack();
+  for (auto it = chains_.lower_bound(Key{packed, 0});
+       it != chains_.end() && it->first.first == packed; ++it) {
+    const std::vector<Version>& vs = it->second.versions;
+    for (auto rit = vs.rbegin(); rit != vs.rend(); ++rit) {
+      if (rit->csn <= snapshot) {
+        out[it->first.second] = &*rit;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t VersionStore::Prune() {
+  const bool have_floor = !snapshots_.empty();
+  const uint64_t floor = have_floor ? oldest_snapshot() : 0;
+  uint64_t pruned = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    Chain& chain = it->second;
+    std::vector<Version>& vs = chain.versions;
+    if (have_floor) {
+      // Keep the newest entry with csn <= floor plus everything after it.
+      size_t keep_from = 0;
+      for (size_t i = 1; i < vs.size(); ++i) {
+        if (vs[i].csn <= floor) keep_from = i;
+      }
+      if (keep_from > 0) {
+        pruned += keep_from;
+        vs.erase(vs.begin(), vs.begin() + static_cast<ptrdiff_t>(keep_from));
+      }
+      ++it;
+      continue;
+    }
+    // No live snapshots: a clean chain's newest entry equals the
+    // partition image, so the whole chain is redundant. A dirty chain
+    // must keep exactly its newest committed entry (the pre-image of the
+    // in-flight write) for snapshots that begin before that write ends.
+    if (!chain.dirty) {
+      pruned += vs.size();
+      it = chains_.erase(it);
+      continue;
+    }
+    if (vs.size() > 1) {
+      pruned += vs.size() - 1;
+      vs.erase(vs.begin(), vs.end() - 1);
+    }
+    ++it;
+  }
+  if (pruned > 0) {
+    BumpLive(-static_cast<int64_t>(pruned));
+    if (m_pruned_ != nullptr) m_pruned_->Add(pruned);
+  }
+  return pruned;
+}
+
+}  // namespace mmdb

@@ -233,12 +233,50 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
     }
   };
 
+  // Read-only snapshot scripts, interleaved with the writers so crashes
+  // land while snapshots are live and version installs are in flight.
+  // Their effects never enter the ledger; they exist to put the MVCC
+  // machinery in the blast radius of every crash point.
+  const int kReaders = opts_.mvcc_readers ? 4 : 0;
+  auto build_readers = [&](ConcurrentExecutor* ex, int tag) {
+    for (int i = 0; i < kReaders; ++i) {
+      TxnScript s;
+      s.label = "snap-" + std::to_string(tag) + "-" + std::to_string(i);
+      s.options.read_only = true;
+      s.ops.push_back([](Database& d, Transaction* t) -> Status {
+        return d.Scan(t, "r").status();
+      });
+      s.ops.push_back(
+          [addr = hot[i % 2]](Database& d, Transaction* t) -> Status {
+            auto r = d.Read(t, "r", addr);
+            if (r.ok() || r.status().IsNotFound()) return Status::OK();
+            return r.status();
+          });
+      ex->Submit(std::move(s));
+    }
+  };
+  // Lock-freedom holds even on crash-interrupted runs: a read-only
+  // script must never have waited, whatever its outcome.
+  auto check_readers = [&](const ConcurrentExecutor& ex,
+                           int nwrites) -> Status {
+    const auto& rs = ex.results();
+    for (size_t s = static_cast<size_t>(nwrites); s < rs.size(); ++s) {
+      if (rs[s].waits != 0) {
+        return Status::Corruption("read-only snapshot script waited on a lock");
+      }
+    }
+    return Status::OK();
+  };
+
   // Fold an executor run into the ledger: committed effects in commit
-  // order, then the at-most-one commit-faulted (in-doubt) script.
-  auto apply = [&](const ConcurrentExecutor& ex, int lo) {
+  // order, then the at-most-one commit-faulted (in-doubt) script. The
+  // first `nwrites` scripts of the wave are the writers; anything after
+  // them is a read-only snapshot script with no ledger effect.
+  auto apply = [&](const ConcurrentExecutor& ex, int lo, int nwrites) {
     std::map<uint64_t, int> by_txn;
     const auto& rs = ex.results();
     for (size_t s = 0; s < rs.size(); ++s) {
+      if (static_cast<int>(s) >= nwrites) continue;
       if (rs[s].outcome == ScriptOutcome::kCommitted) {
         by_txn[rs[s].txn_id] = lo + static_cast<int>(s);
       }
@@ -255,6 +293,7 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
       for (int64_t k : ef.dels) led->committed.erase(k);
     }
     for (size_t s = 0; s < rs.size(); ++s) {
+      if (static_cast<int>(s) >= nwrites) continue;
       if (rs[s].commit_faulted) {
         const Effect& ef = effects[lo + s];
         led->has_indoubt = true;
@@ -274,16 +313,20 @@ Status CrashExplorer::RunConcurrentScript(Database* db, Ledger* led) const {
   {
     ConcurrentExecutor ex(db);
     build(&ex, 0, kHalf);
+    build_readers(&ex, 0);
     Status rst = ex.Run();
-    apply(ex, 0);
+    apply(ex, 0, kHalf);
+    MMDB_RETURN_IF_ERROR(check_readers(ex, kHalf));
     if (!rst.ok()) return rst;
   }
   MMDB_RETURN_IF_ERROR(db->ForceCheckpointRelation("r"));
   {
     ConcurrentExecutor ex(db);
     build(&ex, kHalf, kScripts);
+    build_readers(&ex, 1);
     Status rst = ex.Run();
-    apply(ex, kHalf);
+    apply(ex, kHalf, kScripts - kHalf);
+    MMDB_RETURN_IF_ERROR(check_readers(ex, kScripts - kHalf));
     if (!rst.ok()) return rst;
   }
   MMDB_RETURN_IF_ERROR(db->CheckpointEverything());
@@ -435,6 +478,48 @@ Status CrashExplorer::CheckInvariants(Database* db, const Ledger& led,
     if (!cst.ok()) {
       return fail("read-only txn commit failed: " + cst.ToString());
     }
+
+    // MVCC: the version store is volatile, so nothing from before the
+    // crash may survive into the rebuilt store — recovery reinstates
+    // committed latest versions only, never uncommitted deltas.
+    if (db->mvcc_versions_live() != 0) {
+      return fail("version store not empty after restart (" +
+                  std::to_string(db->mvcc_versions_live()) +
+                  " versions live)");
+    }
+    // A snapshot reader served right after recovery must see exactly the
+    // recovered committed state.
+    auto ro = db->Begin(TxnKind::kUser, "", /*read_only=*/true);
+    if (!ro.ok()) {
+      return fail("read-only Begin failed after recovery: " +
+                  ro.status().ToString());
+    }
+    auto srows = db->Scan(ro.value(), "r");
+    if (!srows.ok()) {
+      return fail("snapshot scan failed after recovery: " +
+                  srows.status().ToString());
+    }
+    std::map<int64_t, int64_t> snap;
+    for (const auto& [addr, tup] : srows.value()) {
+      (void)addr;
+      snap[std::get<int64_t>(tup[0])] = std::get<int64_t>(tup[1]);
+    }
+    Status sst = db->Commit(ro.value());
+    if (!sst.ok()) {
+      return fail("snapshot txn commit failed: " + sst.ToString());
+    }
+    if (snap != got) {
+      return fail("post-recovery snapshot read diverges from the recovered "
+                  "committed state");
+    }
+  }
+
+  // Reclaimer resume: pruning after recovery is idempotent — whatever
+  // the first pass reclaims, a second pass must find nothing left.
+  (void)db->PruneVersions();
+  if (uint64_t again = db->PruneVersions(); again != 0) {
+    return fail("version pruning not idempotent after recovery: second pass "
+                "reclaimed " + std::to_string(again) + " versions");
   }
 
   // Determinism vs the no-crash oracle: when every scripted transaction

@@ -40,6 +40,14 @@ struct ExplorerOptions {
   /// every stream, so the expected state folds the per-commit epoch
   /// ledger against the restart's reported epoch frontier.
   uint32_t log_streams = 1;
+  /// With txn_workers >= 2: interleave read-only snapshot transactions
+  /// (full scans plus point reads on the MVCC read path) into every
+  /// executor wave, so crashes land while snapshots are live and version
+  /// installs are in flight. Adds the MVCC invariants to every point: no
+  /// version survives the restart, a snapshot reader served right after
+  /// recovery sees exactly the recovered committed state, and version
+  /// pruning is idempotent when the reclaimer resumes.
+  bool mvcc_readers = false;
 };
 
 struct ExplorerReport {

@@ -194,7 +194,8 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
   db_->BindExecContext(&ctx);
 
   if (lane.txn == nullptr) {
-    auto begun = db_->Begin(TxnKind::kUser, script.label);
+    auto begun =
+        db_->Begin(TxnKind::kUser, script.label, script.options.read_only);
     if (!begun.ok()) {
       db_->BindExecContext(nullptr);
       return begun.status();
@@ -225,6 +226,7 @@ Status ConcurrentExecutor::DispatchOne(size_t li) {
       lane.park_ns = lane.cpu->busy_until_ns();
       waits_++;
       m_waits_->Add();
+      result.waits++;
       if (db_->tracer().enabled()) {
         db_->tracer().Instant(obs::WorkerTrack(static_cast<uint32_t>(li)),
                               "lock", "wait:" + script.label,
@@ -456,6 +458,9 @@ void ConcurrentExecutor::MaintenanceTick(uint64_t now_ns) {
     sched_->Fail(st);
     return;
   }
+  // Background version reclamation: prune anything older than the
+  // oldest live snapshot (pure bookkeeping, no virtual time).
+  db_->PruneVersions();
   // Keep ticking only while something else is scheduled: when the tick
   // is the last event on the heap, every worker has finished (or is
   // wedged) and every sweep lane has drained, so the loop winds down.

@@ -22,11 +22,20 @@ namespace mmdb {
 /// than idempotent writes to captured state.
 using TxnOp = std::function<Status(Database&, Transaction*)>;
 
+/// Per-script execution options.
+struct ExecOptions {
+  /// MVCC snapshot reader: the transaction begins with Database::Begin's
+  /// read_only flag set, never touches the lock manager, and every op
+  /// must be a pure read (writes fail with InvalidArgument).
+  bool read_only = false;
+};
+
 /// A scripted transaction: Begin + ops in order + Commit, retried from
 /// scratch (fresh transaction id) when it loses a deadlock.
 struct TxnScript {
   std::string label;
   std::vector<TxnOp> ops;
+  ExecOptions options;
 };
 
 enum class ScriptOutcome : uint8_t { kPending = 0, kCommitted = 1, kAborted = 2 };
@@ -38,6 +47,10 @@ struct ScriptResult {
   uint64_t commit_ns = 0;
   uint32_t worker = 0;
   uint32_t deadlock_retries = 0;
+  /// Lock waits this script sat through across all attempts. A read-only
+  /// script must finish with 0 — that is the lock-free guarantee the
+  /// read-mostly bench asserts.
+  uint64_t waits = 0;
   /// The script's Commit returned the injected-crash fault: the classic
   /// in-doubt transaction (durable iff its SLB commit beat the crash).
   bool commit_faulted = false;

@@ -76,6 +76,16 @@ class Transaction {
   uint32_t log_stream() const { return log_stream_; }
   void set_log_stream(uint32_t s) { log_stream_ = s; }
 
+  /// Read-only snapshot transactions (MVCC): declared at Begin, they
+  /// never touch the lock manager and resolve every read against the
+  /// version store at `snapshot_csn` (the newest commit stamp at begin).
+  bool read_only() const { return read_only_; }
+  uint64_t snapshot_csn() const { return snapshot_csn_; }
+  void SetReadOnly(uint64_t snapshot_csn) {
+    read_only_ = true;
+    snapshot_csn_ = snapshot_csn;
+  }
+
  private:
   uint64_t id_;
   TxnKind kind_;
@@ -84,6 +94,8 @@ class Transaction {
   uint64_t redo_bytes_ = 0;
   uint64_t begin_ns_ = 0;
   uint32_t log_stream_ = 0;
+  bool read_only_ = false;
+  uint64_t snapshot_csn_ = 0;
 };
 
 /// Issues transaction ids and tracks active transactions. Ids never

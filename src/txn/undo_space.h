@@ -44,6 +44,15 @@ class UndoSpace {
   /// transaction itself lives on to replay it).
   std::vector<LogRecord> TakeReversedFrom(uint64_t txn_id, size_t depth);
 
+  /// The transaction's UNDO records in push order, or nullptr if it has
+  /// none. Used at commit to enumerate the addresses this transaction
+  /// wrote (the version store installs committed post-images for them)
+  /// before the chain is discarded.
+  const std::vector<LogRecord>* Peek(uint64_t txn_id) const {
+    auto it = chains_.find(txn_id);
+    return it == chains_.end() ? nullptr : &it->second;
+  }
+
   /// Drops the transaction's UNDO records (commit).
   void Discard(uint64_t txn_id);
 

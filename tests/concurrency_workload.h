@@ -1,10 +1,13 @@
 #ifndef MMDB_TESTS_CONCURRENCY_WORKLOAD_H_
 #define MMDB_TESTS_CONCURRENCY_WORKLOAD_H_
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
@@ -12,6 +15,15 @@
 #include "util/random.h"
 
 namespace mmdb::testing {
+
+/// What one read-only snapshot transaction saw: its full-table scan plus
+/// any point reads, all taken at the same snapshot. The multi-version
+/// oracle asserts the whole observation matches the database state at a
+/// single commit-order prefix.
+struct SnapshotObservation {
+  std::map<int64_t, int64_t> scan;
+  std::vector<std::pair<int64_t, std::optional<int64_t>>> reads;
+};
 
 /// A seeded random mixed workload over a pre-populated table, shared by
 /// the serializability and determinism tests. Every operation's effect is
@@ -53,6 +65,66 @@ struct ConcurrencyWorkload {
   /// Generates the seeded script mix: hot-row updates (contention),
   /// uniform updates, reads, and per-script unique inserts.
   std::vector<TxnScript> MakeScripts(uint64_t seed) const {
+    return MakeWriteScripts(seed);
+  }
+
+  /// The full mix: the write scripts of MakeScripts(seed) (byte-identical
+  /// generation — fraction 0 is exact legacy parity) interleaved with
+  /// enough read-only snapshot scripts to make them `read_only_fraction`
+  /// of the workload. Each read-only script does one full-table snapshot
+  /// scan plus a few point reads and records what it saw into
+  /// `observations` (index = number in the script label) for the
+  /// multi-version consistency oracle.
+  std::vector<TxnScript> MakeMixedScripts(
+      uint64_t seed, double read_only_fraction,
+      std::vector<std::shared_ptr<SnapshotObservation>>* observations) const {
+    std::vector<TxnScript> writes = MakeWriteScripts(seed);
+    size_t n_ro = 0;
+    if (read_only_fraction > 0.0 && read_only_fraction < 1.0) {
+      n_ro = static_cast<size_t>(std::lround(
+          writes.size() * read_only_fraction / (1.0 - read_only_fraction)));
+    }
+    Random rng(seed ^ 0x9e3779b97f4a7c15ull);
+    std::vector<TxnScript> ro;
+    ro.reserve(n_ro);
+    for (size_t k = 0; k < n_ro; ++k) {
+      auto obs = std::make_shared<SnapshotObservation>();
+      if (observations != nullptr) observations->push_back(obs);
+      TxnScript ts;
+      ts.label = "ro" + std::to_string(k);
+      ts.options.read_only = true;
+      ts.ops.push_back(MakeSnapshotScan(obs));
+      int n_reads = static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < n_reads; ++j) {
+        int64_t row = static_cast<int64_t>(rng.Uniform(kRows));
+        ts.ops.push_back(MakeRecordedRead(row, obs));
+      }
+      ro.push_back(std::move(ts));
+    }
+    // Interleave so snapshots begin while writers are in flight: spread
+    // the writes evenly through the submission order.
+    const size_t total = writes.size() + ro.size();
+    std::vector<bool> is_write(total, false);
+    for (size_t j = 0; j < writes.size(); ++j) {
+      is_write[j * total / writes.size()] = true;
+    }
+    std::vector<TxnScript> out;
+    out.reserve(total);
+    size_t wi = 0;
+    size_t ri = 0;
+    for (size_t pos = 0; pos < total; ++pos) {
+      if (is_write[pos] && wi < writes.size()) {
+        out.push_back(std::move(writes[wi++]));
+      } else if (ri < ro.size()) {
+        out.push_back(std::move(ro[ri++]));
+      } else {
+        out.push_back(std::move(writes[wi++]));
+      }
+    }
+    return out;
+  }
+
+  std::vector<TxnScript> MakeWriteScripts(uint64_t seed) const {
     Random rng(seed);
     std::vector<TxnScript> scripts;
     for (int s = 0; s < kScripts; ++s) {
@@ -98,6 +170,38 @@ struct ConcurrencyWorkload {
   TxnOp MakeInsert(int64_t key, int64_t value) const {
     return [key, value](Database& d, Transaction* t) -> Status {
       return d.Insert(t, "r", Tuple{key, value}).status();
+    };
+  }
+
+  /// Snapshot scan into the shared observation (idempotent: clears
+  /// first, in case the executor ever replays the op).
+  TxnOp MakeSnapshotScan(std::shared_ptr<SnapshotObservation> obs) const {
+    return [obs](Database& d, Transaction* t) -> Status {
+      auto sc = d.Scan(t, "r");
+      MMDB_RETURN_IF_ERROR(sc.status());
+      obs->scan.clear();
+      for (const auto& [addr, tup] : sc.value()) {
+        (void)addr;
+        obs->scan[std::get<int64_t>(tup[0])] = std::get<int64_t>(tup[1]);
+      }
+      return Status::OK();
+    };
+  }
+
+  TxnOp MakeRecordedRead(int64_t row,
+                         std::shared_ptr<SnapshotObservation> obs) const {
+    EntityAddr addr = addrs.at(row);
+    return [addr, row, obs](Database& d, Transaction* t) -> Status {
+      auto r = d.Read(t, "r", addr);
+      if (r.ok()) {
+        obs->reads.emplace_back(row, std::get<int64_t>(r.value()[1]));
+        return Status::OK();
+      }
+      if (r.status().IsNotFound()) {
+        obs->reads.emplace_back(row, std::nullopt);
+        return Status::OK();
+      }
+      return r.status();
     };
   }
 

@@ -26,11 +26,16 @@ struct RunFingerprint {
   std::string trace_json;
 };
 
-Status RunOnce(uint64_t seed, uint32_t workers, RunFingerprint* out) {
+Status RunOnce(uint64_t seed, uint32_t workers, RunFingerprint* out,
+               double read_only_fraction = 0.0) {
   ConcurrencyWorkload w;
   MMDB_RETURN_IF_ERROR(w.Setup(workers, /*trace=*/true));
   ConcurrentExecutor ex(w.db.get());
-  for (TxnScript& s : w.MakeScripts(seed)) ex.Submit(std::move(s));
+  std::vector<TxnScript> scripts =
+      read_only_fraction > 0.0
+          ? w.MakeMixedScripts(seed, read_only_fraction, nullptr)
+          : w.MakeScripts(seed);
+  for (TxnScript& s : scripts) ex.Submit(std::move(s));
   MMDB_RETURN_IF_ERROR(ex.Run());
   out->commit_order = ex.commit_order();
   out->completion_ns = ex.completion_ns();
@@ -62,6 +67,58 @@ TEST(DeterminismTest, IdenticalRunsAreByteIdentical) {
     EXPECT_EQ(a.rows, b.rows);
     EXPECT_EQ(a.metrics_json, b.metrics_json);
     EXPECT_EQ(a.trace_json, b.trace_json);
+  }
+}
+
+/// MVCC on: a mixed workload with half the transactions running as
+/// lock-free snapshot readers must be just as reproducible — version
+/// install/prune order, snapshot resolution, and the mvcc.* metrics all
+/// ride the same deterministic schedule.
+TEST(DeterminismTest, MvccRunsAreByteIdentical) {
+  for (uint32_t workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    RunFingerprint a, b;
+    ASSERT_OK(RunOnce(7, workers, &a, /*read_only_fraction=*/0.5));
+    ASSERT_OK(RunOnce(7, workers, &b, /*read_only_fraction=*/0.5));
+    EXPECT_EQ(a.commit_order, b.commit_order);
+    EXPECT_EQ(a.completion_ns, b.completion_ns);
+    EXPECT_EQ(a.waits, b.waits);
+    EXPECT_EQ(a.deadlocks, b.deadlocks);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.metrics_json, b.metrics_json);
+    EXPECT_EQ(a.trace_json, b.trace_json);
+    // The MVCC machinery actually engaged: snapshot reads were counted.
+    EXPECT_NE(a.metrics_json.find("txn.snapshot_reads"), std::string::npos);
+  }
+}
+
+/// MVCC off: when read_only is never used, the version machinery must be
+/// invisible — the fingerprint of a workload submitted through
+/// MakeMixedScripts at fraction 0 is byte-identical to the legacy
+/// MakeScripts path (same commit order, same virtual times, same metrics
+/// and trace), and no versions survive the run.
+TEST(DeterminismTest, LegacyParityWhenReadOnlyUnused) {
+  for (uint32_t workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    RunFingerprint legacy;
+    ASSERT_OK(RunOnce(7, workers, &legacy));
+
+    ConcurrencyWorkload w;
+    ASSERT_OK(w.Setup(workers, /*trace=*/true));
+    ConcurrentExecutor ex(w.db.get());
+    for (TxnScript& s : w.MakeMixedScripts(7, 0.0, nullptr)) {
+      ex.Submit(std::move(s));
+    }
+    ASSERT_OK(ex.Run());
+    EXPECT_EQ(ex.commit_order(), legacy.commit_order);
+    EXPECT_EQ(ex.completion_ns(), legacy.completion_ns);
+    EXPECT_EQ(ex.waits(), legacy.waits);
+    ASSERT_OK_AND_ASSIGN(auto rows, w.LogicalRows());
+    EXPECT_EQ(rows, legacy.rows);
+    EXPECT_EQ(obs::RegistryToJsonValue(w.db->metrics()).Dump(),
+              legacy.metrics_json);
+    EXPECT_EQ(w.db->tracer().ToJson(), legacy.trace_json);
+    EXPECT_EQ(w.db->mvcc_versions_live(), 0u);
   }
 }
 

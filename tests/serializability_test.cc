@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "concurrency_workload.h"
@@ -115,6 +118,161 @@ TEST(SerializabilityTest, WorkerCountSweep) {
     for (uint64_t seed = 1; seed <= 6; ++seed) {
       CheckSerializable(seed, workers);
       if (HasFatalFailure()) return;
+    }
+  }
+}
+
+/// Multi-version consistency oracle. Runs the mixed workload (write
+/// scripts plus `frac` read-only snapshot scripts) and checks:
+///
+///  1. Snapshot validity: every read-only transaction's observation (its
+///     full-table scan AND its point reads together) equals the database
+///     state at some single commit-order prefix of the committed write
+///     transactions — no torn reads, no uncommitted data, no mixing of
+///     two points in time.
+///  2. Read-write transactions remain conflict-serializable (oracle 1 of
+///     CheckSerializable) and the final state equals the serial replay.
+///  3. Lock-freedom: no read-only transaction appears in the lock
+///     history or waited even once.
+void CheckMultiVersionConsistency(uint64_t seed, uint32_t workers,
+                                  double frac) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " workers=" + std::to_string(workers) +
+               " frac=" + std::to_string(frac));
+
+  ConcurrencyWorkload w;
+  ASSERT_OK(w.Setup(workers));
+  w.db->locks().EnableHistory();
+
+  std::vector<std::shared_ptr<testing::SnapshotObservation>> obs;
+  std::vector<TxnScript> scripts = w.MakeMixedScripts(seed, frac, &obs);
+  std::vector<bool> is_ro(scripts.size());
+  std::vector<std::string> labels(scripts.size());
+  for (size_t s = 0; s < scripts.size(); ++s) {
+    is_ro[s] = scripts[s].options.read_only;
+    labels[s] = scripts[s].label;
+  }
+
+  ConcurrentExecutor ex(w.db.get());
+  for (TxnScript& s : scripts) ex.Submit(std::move(s));
+  ASSERT_OK(ex.Run());
+
+  std::map<uint64_t, size_t> commit_pos;
+  for (size_t i = 0; i < ex.commit_order().size(); ++i) {
+    commit_pos[ex.commit_order()[i]] = i;
+  }
+
+  // Partition results: committed write txns (by label) and read-only
+  // observations. Read-only scripts must always commit — they cannot
+  // deadlock and never retry.
+  std::set<uint64_t> ro_txns;
+  std::map<uint64_t, std::string> committed_write_label;
+  for (size_t s = 0; s < ex.results().size(); ++s) {
+    const ScriptResult& r = ex.results()[s];
+    if (is_ro[s]) {
+      ASSERT_EQ(r.outcome, ScriptOutcome::kCommitted) << r.error.ToString();
+      ro_txns.insert(r.txn_id);
+      EXPECT_EQ(r.waits, 0u) << "read-only transaction " << r.txn_id
+                             << " waited on a lock";
+    } else if (r.outcome == ScriptOutcome::kCommitted) {
+      committed_write_label[r.txn_id] = labels[s];
+    }
+  }
+
+  // Lock-freedom: the lock history never mentions a read-only txn.
+  for (const LockEvent& e : w.db->locks().history()) {
+    EXPECT_FALSE(ro_txns.count(e.txn_id))
+        << "read-only transaction " << e.txn_id << " touched the lock table";
+  }
+
+  // Conflict-order consistency for the write transactions.
+  const std::vector<LockEvent>& hist = w.db->locks().history();
+  for (size_t i = 0; i < hist.size(); ++i) {
+    for (size_t j = i + 1; j < hist.size(); ++j) {
+      const LockEvent& a = hist[i];
+      const LockEvent& b = hist[j];
+      if (a.txn_id == b.txn_id) continue;
+      if (!(a.res == b.res)) continue;
+      if (LockManager::Compatible(a.mode, b.mode)) continue;
+      auto pa = commit_pos.find(a.txn_id);
+      auto pb = commit_pos.find(b.txn_id);
+      if (pa == commit_pos.end() || pb == commit_pos.end()) continue;
+      EXPECT_LT(pa->second, pb->second)
+          << "conflict edge " << a.txn_id << " -> " << b.txn_id
+          << " contradicts commit order";
+    }
+  }
+
+  // Serial replay of the committed write transactions in commit order,
+  // capturing the state after every prefix (prefix 0 = populated table).
+  ConcurrencyWorkload serial;
+  ASSERT_OK(serial.Setup(1));
+  std::vector<TxnScript> wscripts = serial.MakeScripts(seed);
+  std::map<std::string, TxnScript*> by_label;
+  for (TxnScript& s : wscripts) by_label[s.label] = &s;
+
+  std::vector<std::map<int64_t, int64_t>> prefix_states;
+  ASSERT_OK_AND_ASSIGN(auto state0, serial.LogicalRows());
+  prefix_states.push_back(state0);
+  for (uint64_t txn_id : ex.commit_order()) {
+    auto it = committed_write_label.find(txn_id);
+    if (it == committed_write_label.end()) continue;  // read-only or setup
+    TxnScript* s = by_label.at(it->second);
+    auto t = serial.db->Begin();
+    ASSERT_OK(t.status());
+    for (TxnOp& op : s->ops) ASSERT_OK(op(*serial.db, t.value()));
+    ASSERT_OK(serial.db->Commit(t.value()));
+    ASSERT_OK_AND_ASSIGN(auto st, serial.LogicalRows());
+    prefix_states.push_back(std::move(st));
+  }
+
+  // Final-state equivalence.
+  ASSERT_OK_AND_ASSIGN(auto got, w.LogicalRows());
+  EXPECT_EQ(got, prefix_states.back())
+      << "concurrent execution is not equivalent to the serial replay";
+
+  // Snapshot validity: each observation matches one prefix, wholly.
+  for (size_t k = 0; k < obs.size(); ++k) {
+    const testing::SnapshotObservation& o = *obs[k];
+    bool matched = false;
+    for (const auto& state : prefix_states) {
+      if (state != o.scan) continue;
+      bool reads_ok = true;
+      for (const auto& [row, val] : o.reads) {
+        auto it = state.find(row);
+        std::optional<int64_t> want =
+            it == state.end() ? std::nullopt : std::optional<int64_t>(it->second);
+        if (want != val) {
+          reads_ok = false;
+          break;
+        }
+      }
+      if (reads_ok) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched)
+        << "read-only script ro" << k
+        << " observed a state that matches no commit-order prefix";
+    if (::testing::Test::HasNonfatalFailure()) return;
+  }
+}
+
+TEST(MultiVersionOracle, SeedSweepAcrossWorkersAndFractions) {
+  // 50 seeds x {1,4,8} workers x read-only fractions {0%, 50%, 95%}.
+  // Fraction 0 degenerates to the plain serializability check (no
+  // read-only scripts at all), covered densely above; run it on a
+  // lighter seed range here to keep the sweep focused on MVCC.
+  for (uint32_t workers : {1u, 4u, 8u}) {
+    for (double frac : {0.0, 0.5, 0.95}) {
+      uint64_t seeds = frac == 0.0 ? 5 : 50;
+      for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        CheckMultiVersionConsistency(seed, workers, frac);
+        if (HasFatalFailure() || ::testing::Test::HasNonfatalFailure()) {
+          return;
+        }
+      }
     }
   }
 }

@@ -86,8 +86,11 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
         print(f"  {key:40s} {base_val:12.3f} -> {curr_val:12.3f} "
               f"({delta_pct:+7.2f}%) [{marker}]")
         if regressed:
+            gate = ("lower-is-better" if direction == "lower"
+                    else "higher-is-better")
             failures.append(
-                f"{key}: {base_val:.3f} -> {curr_val:.3f} ({delta_pct:+.2f}%)")
+                f"{key}: {base_val:.3f} -> {curr_val:.3f} ({delta_pct:+.2f}%) "
+                f"({gate} gate, beyond {tolerance:.0%})")
 
     base_ts = base.get("timeseries", {})
     curr_ts = curr.get("timeseries", {})
@@ -107,7 +110,8 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
               f"[{marker}]")
         if regressed:
             failures.append(
-                f"timeseries.{key}: {base_val:.0f} -> {curr_val:.0f}")
+                f"timeseries.{key}: {base_val:.0f} -> {curr_val:.0f} "
+                f"(coverage-floor gate, beyond {tolerance:.0%})")
 
     base_host = base.get("host", {})
     curr_host = curr.get("host", {})
@@ -128,7 +132,7 @@ def compare(baseline_path: Path, current_path: Path, tolerance: float):
         if regressed:
             failures.append(
                 f"host.{key}: {base_val:.3f} -> {curr_val:.3f} "
-                f"(beyond {host_tol:.0%})")
+                f"(higher-is-better host-ratio gate, beyond {host_tol:.0%})")
     return failures
 
 
